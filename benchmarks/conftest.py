@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark runs one paper experiment at full length exactly once
+(``rounds=1`` — these are reproduction harnesses, not microbenchmarks),
+prints the paper-style table, attaches headline numbers to the
+benchmark record, and asserts the experiment's shape claims.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Execute ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a rendered table so it survives pytest's capture with -s."""
+    sys.stdout.write("\n" + text + "\n")

@@ -1,0 +1,70 @@
+"""Benchmark harness: design-decision ablations (§3.2 claims).
+
+Quantifies the paper's unmeasured assertions:
+
+* **A** — level-one window size: too small chases jitter, too large is
+  sluggish on sudden changes; 4 is the knee.
+* **B** — the level-two fallback is what tracks Type-II drift.
+* **C** — tDVFS's depth-escalated threshold prevents chasing the plant
+  down the frequency ladder.
+* **D** — splitting the shared P_p: handing the aggressiveness to the
+  in-band side costs real performance for no thermal gain.
+"""
+
+from repro.experiments import ablation as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_ablation(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    by_size = {row.l1_size: row for row in result.window_rows}
+    for size, row in by_size.items():
+        benchmark.extra_info[f"l1_{size}_delay"] = row.sudden_delay
+        benchmark.extra_info[f"l1_{size}_jitter_move"] = round(
+            row.jitter_movement, 4
+        )
+
+    # -- A: window size tradeoff ---------------------------------------
+    # jitter chasing decreases monotonically with window size
+    sizes = sorted(by_size)
+    moves = [by_size[s].jitter_movement for s in sizes]
+    assert all(a >= b for a, b in zip(moves, moves[1:]))
+    # sudden response is no slower at 4 than anywhere, and clearly
+    # degrades for the largest window — the paper's "too large" case
+    best_delay = min(row.sudden_delay for row in result.window_rows)
+    assert by_size[4].sudden_delay == best_delay
+    assert by_size[16].sudden_delay > by_size[4].sudden_delay
+
+    # -- B: level-two fallback -------------------------------------------
+    on = next(r for r in result.l2_rows if r.l2_enabled)
+    off = next(r for r in result.l2_rows if not r.l2_enabled)
+    assert on.final_temp < off.final_temp - 1.5
+    assert on.final_duty > off.final_duty
+
+    # -- C: escalated threshold -------------------------------------------
+    esc = next(r for r in result.escalation_rows if r.escalate)
+    fixed = next(r for r in result.escalation_rows if not r.escalate)
+    # without escalation the daemon dives deeper and pays more time ...
+    assert fixed.min_ghz < esc.min_ghz
+    assert fixed.execution_time > esc.execution_time
+    assert fixed.freq_changes >= esc.freq_changes
+    # ... for only a modest extra cooling
+    assert esc.end_temp - fixed.end_temp < 5.0
+
+    # -- D: shared vs independent P_p ---------------------------------------
+    by_split = {(r.fan_pp, r.dvfs_pp): r for r in result.split_rows}
+    shared = by_split[(50, 50)]
+    fan_aggressive = by_split[(25, 75)]
+    dvfs_aggressive = by_split[(75, 25)]
+    # giving the aggressiveness to the in-band side triggers DVFS
+    # earlier and deeper, and pays the most execution time ...
+    assert dvfs_aggressive.first_trigger < shared.first_trigger
+    assert dvfs_aggressive.min_ghz <= shared.min_ghz
+    assert dvfs_aggressive.execution_time > shared.execution_time
+    assert dvfs_aggressive.execution_time > fan_aggressive.execution_time
+    # ... without cooling meaningfully better than the fan-side split
+    assert dvfs_aggressive.mean_temp > fan_aggressive.mean_temp - 0.5

@@ -1,0 +1,54 @@
+"""Benchmark harness: fan-failure / thermal-emergency avoidance.
+
+Extension experiment (the reliability scenario the paper's introduction
+motivates but never injects): node 0's fan seizes mid-run and three
+control strategies face the consequences under realistic hardware
+protection (PROCHOT at 85 °C, THERMTRIP at 97 °C).
+"""
+
+from repro.experiments import emergency as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_emergency(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.strategy}_prochot"] = row.prochot_count
+        benchmark.extra_info[f"{row.strategy}_max_temp"] = round(row.max_temp, 1)
+        benchmark.extra_info[f"{row.strategy}_gcycles"] = round(
+            row.retired_gcycles, 1
+        )
+
+    stock = result.row("stock")
+    ondemand = result.row("ondemand")
+    cpuspeed = result.row("cpuspeed")
+    unified = result.row("unified")
+
+    # -- shape claims -------------------------------------------------------
+    # 1. with no OS thermal daemon, the hardware emergency fires
+    assert stock.prochot_count >= 1
+    assert stock.max_temp >= 84.0
+    # 2. a temperature-blind utilization governor is no protection at
+    #    all: ondemand holds 2.4 GHz into the danger zone and racks up
+    #    the most thermal stress
+    assert ondemand.final_ghz == 2.4
+    assert ondemand.max_temp >= 84.0
+    assert ondemand.stress_ks >= max(cpuspeed.stress_ks, unified.stress_ks)
+    # 3. the unified controller keeps the node out of hardware
+    #    protection entirely — the paper's reliability promise
+    assert unified.prochot_count == 0
+    assert not unified.thermtrip
+    assert unified.max_temp < 80.0
+    assert unified.stress_ks < 0.2
+    # 4. it does so *deliberately*: the in-band path walked down
+    assert unified.tdvfs_triggers >= 2
+    assert unified.final_ghz <= 1.8
+    # 5. nobody lost the node
+    assert not any(r.thermtrip for r in result.rows)
+    # 6. among the *thermally safe* strategies, unified salvages the
+    #    most work on the failed node
+    assert unified.retired_gcycles > cpuspeed.retired_gcycles

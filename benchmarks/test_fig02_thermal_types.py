@@ -1,0 +1,55 @@
+"""Benchmark harness: Figure 2 — thermal behaviour taxonomy.
+
+Regenerates the Figure-2 style profile (sudden / gradual / jitter on
+one node under a constant fan) and verifies the classifier finds all
+three behaviour types in their designed phases.
+"""
+
+from repro.core.classify import ThermalBehavior
+from repro.experiments import fig02_thermal_types as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig02_thermal_types(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    benchmark.extra_info["temp_min"] = round(result.temp_range[0], 1)
+    benchmark.extra_info["temp_max"] = round(result.temp_range[1], 1)
+    for behaviour, fraction in result.fractions.items():
+        benchmark.extra_info[f"frac_{behaviour.value}"] = round(fraction, 3)
+
+    # -- shape claims ---------------------------------------------------
+    # all three paper types occur
+    assert result.fractions[ThermalBehavior.SUDDEN] > 0.0
+    assert result.fractions[ThermalBehavior.GRADUAL] > 0.0
+    assert result.fractions[ThermalBehavior.JITTER] > 0.0
+
+    # labels land in their designed phases
+    duration = result.duration
+    bounds = {
+        name: (a * duration, b * duration)
+        for name, (a, b) in result.phase_bounds.items()
+    }
+
+    def labels_in(phase):
+        a, b = bounds[phase]
+        return [lab for t, lab in result.labels if a <= t < b]
+
+    # sudden labels appear around the step edges
+    edge_labels = labels_in("sudden_rise") + labels_in("sudden_drop")
+    assert ThermalBehavior.SUDDEN in edge_labels
+    # the charge phase is dominated by gradual/steady, never sudden
+    assert ThermalBehavior.SUDDEN not in labels_in("gradual_charge")
+    assert ThermalBehavior.GRADUAL in labels_in("gradual_charge")
+    # jitter labels concentrate in the jitter phase
+    jitter_in_phase = sum(
+        1 for lab in labels_in("jitter") if lab == ThermalBehavior.JITTER
+    )
+    jitter_elsewhere = (
+        sum(1 for _, lab in result.labels if lab == ThermalBehavior.JITTER)
+        - jitter_in_phase
+    )
+    assert jitter_in_phase > jitter_elsewhere

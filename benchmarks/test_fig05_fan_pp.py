@@ -1,0 +1,47 @@
+"""Benchmark harness: Figure 5 — dynamic fan control, P_p sweep.
+
+Regenerates the cpu-burn × 3 protocol under P_p ∈ {75, 50, 25} and
+asserts the paper's orderings: smaller P_p → cooler and more fan; the
+controller reacts to sudden events but not to jitter.
+
+Paper's reference numbers: mean PWM duty 36 / 53 / 70 % for
+P_p = 75 / 50 / 25 (our plant runs hotter, so the duties sit higher,
+but the ordering and spacing reproduce — see EXPERIMENTS.md).
+"""
+
+from repro.experiments import fig05_fan_pp as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig05_fan_pp(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"pp{row.pp}_mean_temp"] = round(row.mean_temp, 2)
+        benchmark.extra_info[f"pp{row.pp}_mean_duty_pct"] = round(
+            row.mean_duty * 100, 1
+        )
+
+    # -- shape claims -----------------------------------------------------
+    # 1. smaller P_p holds lower temperature
+    assert (
+        result.row(25).mean_temp
+        < result.row(50).mean_temp
+        < result.row(75).mean_temp
+    )
+    # 2. ... by spending more fan
+    assert (
+        result.row(25).mean_duty
+        > result.row(50).mean_duty
+        > result.row(75).mean_duty
+    )
+    # 3. the duty spread is material (the knob has real authority)
+    assert result.row(25).mean_duty - result.row(75).mean_duty > 0.10
+    # 4. sudden events move the fan decisively; jitter produces no
+    #    systematic motion (per-round wobble is mean-reverting)
+    for row in result.rows:
+        assert row.duty_move_sudden > 0.0
+        assert abs(row.duty_net_jitter) < 0.5 * row.duty_move_sudden

@@ -1,0 +1,40 @@
+"""Benchmark harness: Figure 6 — dynamic vs traditional vs constant fan.
+
+Regenerates the BT.B.4 three-policy comparison (max duty 75 %) and
+asserts: the dynamic method stabilizes sooner and cooler than the
+traditional static map (duty climbing past ~45 % vs ~32 %), while the
+pinned-75 % fan is coolest but burns the most power.
+"""
+
+from repro.experiments import fig06_fan_comparison as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig06_fan_comparison(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.policy}_final_temp"] = round(row.final_temp, 2)
+        benchmark.extra_info[f"{row.policy}_late_duty_pct"] = round(
+            row.late_duty * 100, 1
+        )
+        benchmark.extra_info[f"{row.policy}_power"] = round(row.avg_power, 2)
+
+    dynamic = result.row("dynamic")
+    traditional = result.row("traditional")
+    constant = result.row("constant")
+
+    # -- shape claims ----------------------------------------------------
+    # 1. proactive beats reactive: cooler and sooner
+    assert dynamic.final_temp < traditional.final_temp - 2.0
+    assert dynamic.stabilization < traditional.stabilization
+    # 2. the duty contrast the paper quotes (45 % vs 32 %)
+    assert dynamic.late_duty > 0.40
+    assert traditional.late_duty < 0.40
+    # 3. constant-75%: coolest, most power
+    assert constant.final_temp <= dynamic.final_temp
+    assert constant.avg_power >= dynamic.avg_power
+    assert constant.avg_power >= traditional.avg_power - 0.5

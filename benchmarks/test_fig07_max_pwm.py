@@ -1,0 +1,37 @@
+"""Benchmark harness: Figure 7 — maximum-PWM (fan capability) sweep.
+
+Regenerates the BT.B.4 run under caps 25/50/75/100 % and asserts the
+paper's findings: a stronger fan is cooler (≈8 K between 25 % and
+100 %), but with proactive control the returns diminish quickly — a
+mid-size fan delivers almost the full benefit.
+"""
+
+from repro.experiments import fig07_max_pwm as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig07_max_pwm(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"cap{int(row.max_duty * 100)}_final_temp"] = round(
+            row.final_temp, 2
+        )
+    benchmark.extra_info["spread_25_vs_100"] = round(result.spread, 2)
+
+    # -- shape claims -----------------------------------------------------
+    # 1. more fan headroom -> cooler overall
+    assert result.row(1.00).final_temp < result.row(0.25).final_temp
+    # 2. the paper's ~8 degC spread between the extreme caps
+    assert 5.0 < result.spread < 13.0
+    # 3. diminishing returns: the last 25 points of cap buy much less
+    #    than the first 25 did (paper: "50 vs 75 not significant")
+    first_step = result.row(0.25).final_temp - result.row(0.50).final_temp
+    last_step = abs(result.row(0.75).final_temp - result.row(1.00).final_temp)
+    assert last_step < 0.55 * first_step
+    # 4. only the weak fan is actually cap-limited
+    assert result.row(0.25).cap_bound
+    assert not result.row(1.00).cap_bound

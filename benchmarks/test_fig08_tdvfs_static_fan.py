@@ -1,0 +1,41 @@
+"""Benchmark harness: Figure 8 — tDVFS with the traditional fan.
+
+Regenerates the LU.A.4 run (traditional fan capped at 25 %, 51 °C
+trigger) and asserts the figure's narrative: one deliberate scale-down
+when the average temperature is consistently above threshold, one
+restore when the lighter phase cools the plant, and no reaction to
+short-term spikes.
+"""
+
+import pytest
+
+from repro.experiments import fig08_tdvfs_static_fan as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig08_tdvfs_static_fan(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    benchmark.extra_info["freq_changes"] = result.freq_changes
+    benchmark.extra_info["trigger_time"] = result.trigger_time
+    benchmark.extra_info["restore_time"] = result.restore_time
+    benchmark.extra_info["max_temp"] = round(result.max_temp, 2)
+
+    # -- shape claims ------------------------------------------------------
+    # 1. the scale-down happens, and it is the single-step 2.4 -> 2.2
+    assert result.trigger_time is not None
+    assert result.trigger_ghz == pytest.approx(2.2)
+    # 2. it fires near the 51 degC threshold, not at the first sample
+    assert result.temp_at_trigger == pytest.approx(51.0, abs=2.0)
+    assert result.trigger_time > 10.0
+    # 3. the restore follows in the lighter phase
+    assert result.restore_time is not None
+    assert result.restore_time > result.trigger_time
+    # 4. exactly one down + one up: spikes drew nothing extra
+    assert result.freq_changes == 2
+    # 5. the frequency path is exactly down-then-up
+    ghzs = [g for _, g in result.frequency_path]
+    assert ghzs == [pytest.approx(2.2), pytest.approx(2.4)]

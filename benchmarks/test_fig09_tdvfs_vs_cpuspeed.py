@@ -1,0 +1,42 @@
+"""Benchmark harness: Figure 9 — tDVFS vs CPUSPEED under a weak fan.
+
+Regenerates BT.B.4 with the dynamic fan capped at 25 % duty — too weak
+to hold the plant alone — governed by CPUSPEED vs tDVFS.  Asserts the
+figure's contrast: CPUSPEED's temperature keeps climbing while tDVFS
+stabilizes after two deliberate scale-downs (2.4 → 2.2 → 2.0 GHz in
+the paper's annotations).
+"""
+
+from repro.experiments import fig09_tdvfs_vs_cpuspeed as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig09_tdvfs_vs_cpuspeed(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.daemon}_end_temp"] = round(row.end_temp, 2)
+        benchmark.extra_info[f"{row.daemon}_changes"] = row.freq_changes
+        benchmark.extra_info[f"{row.daemon}_slope_K_per_100s"] = round(
+            row.late_slope * 100, 2
+        )
+
+    cpuspeed = result.row("cpuspeed")
+    tdvfs = result.row("tdvfs")
+
+    # -- shape claims -----------------------------------------------------
+    # 1. CPUSPEED keeps climbing; tDVFS has stabilized (residual drift
+    #    below 1 K per 100 s) and ends cooler
+    assert cpuspeed.late_slope > 0.0
+    assert abs(tdvfs.late_slope) < 0.01  # K/s
+    assert tdvfs.end_temp < cpuspeed.end_temp - 1.0
+    # 2. the change-count contrast (paper: 139 vs 3 at this cap)
+    assert cpuspeed.freq_changes > 50
+    assert tdvfs.freq_changes <= 5
+    # 3. tDVFS's path is a short descending ladder walk, like the
+    #    figure's annotations
+    assert 1 <= len(tdvfs.scaling_path) <= 3
+    assert all(a > b for a, b in zip(tdvfs.scaling_path, tdvfs.scaling_path[1:]))

@@ -1,0 +1,46 @@
+"""Benchmark harness: Figure 10 — hybrid fan + tDVFS, shared P_p.
+
+Regenerates the §4.4 experiment: BT.B.4 under the combined controller
+with one P_p ∈ {25, 50, 75} shared by both techniques (fan capped at
+50 %).  Asserts the paper's three observations: smaller P_p is cooler,
+triggers the in-band technique *later* (the coordination effect),
+scales deeper when it does (2.4 → 2.0 GHz at P_p = 25), and pays the
+longest — but still small (paper: 4.76 %) — execution-time cost.
+"""
+
+from repro.experiments import fig10_hybrid as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_fig10_hybrid(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"pp{row.pp}_exec_time"] = round(row.execution_time, 1)
+        benchmark.extra_info[f"pp{row.pp}_mean_temp"] = round(row.mean_temp, 2)
+        benchmark.extra_info[f"pp{row.pp}_first_trigger"] = row.first_trigger
+        benchmark.extra_info[f"pp{row.pp}_min_ghz"] = row.min_ghz
+    benchmark.extra_info["exec_spread_pct"] = round(
+        result.performance_spread * 100, 2
+    )
+
+    # -- shape claims ----------------------------------------------------
+    # 1. smaller P_p controls temperature more effectively
+    assert (
+        result.row(25).mean_temp
+        < result.row(50).mean_temp
+        < result.row(75).mean_temp
+    )
+    # 2. coordination: aggressive fan defers the in-band trigger
+    assert result.row(25).first_trigger is not None
+    assert result.row(75).first_trigger is not None
+    assert result.row(25).first_trigger > result.row(75).first_trigger
+    # 3. aggressive policy scales deeper when it finally acts
+    assert result.row(25).min_ghz < result.row(50).min_ghz
+    # 4. P_p=25 pays the longest execution, but the spread stays small
+    times = {r.pp: r.execution_time for r in result.rows}
+    assert times[25] == max(times.values())
+    assert 0.0 < result.performance_spread < 0.08

@@ -1,0 +1,39 @@
+"""Benchmark harness: seed-robustness of the Table-1 claims.
+
+Reruns the central comparison across five independent platform seeds
+and asserts which of the paper's claims are noise-robust — error bars
+the original single-run evaluation could not provide.
+"""
+
+from repro.experiments import robustness as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_robustness(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    n = result.n_seeds
+    for claim, count in result.claim_holds.items():
+        benchmark.extra_info[claim] = f"{count}/{n}"
+
+    # -- robustness claims -----------------------------------------------
+    assert n >= 5
+    # 1. the change-count reduction holds in EVERY seed
+    assert result.claim_holds["changes_reduced_99pct"] == n
+    # 2. in the regimes where the fan is genuinely limited, tDVFS's
+    #    power win holds in every seed ...
+    assert result.claim_holds["power_win_at_weak_fans"] == n
+    # 3. ... and so does the 25 %-cap power-delay win
+    assert result.claim_holds["pdp_win_at_25pct"] == n
+    # 4. at 50/75 % the PDP gap stays inside the statistical tie band
+    assert result.claim_holds["pdp_within_1.5pct_at_50_75"] == n
+    # 5. the aggregated metrics stay in the paper's absolute bands
+    for cap in (0.75, 0.50, 0.25):
+        for daemon in ("cpuspeed", "tdvfs"):
+            power = result.summary(daemon, cap, "power")
+            assert 88.0 < power.low and power.high < 106.0
+            time = result.summary(daemon, cap, "time")
+            assert 205.0 < time.low and time.high < 250.0

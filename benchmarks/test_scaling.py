@@ -1,0 +1,44 @@
+"""Benchmark harness: cluster-size scaling (the paper's §5 future work).
+
+Weak-scales a BT-like workload over 4 → 32 nodes under the hybrid
+controller with a 5 K rack inlet gradient.  Asserts that per-node
+control keeps working at scale: the hottest node stays bounded,
+triggers concentrate in the warm top half of the rack, and
+execution-time dilation from barrier coupling stays small.
+"""
+
+from repro.experiments import scaling as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_scaling(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"n{row.n_nodes}_exec"] = round(row.execution_time, 1)
+        benchmark.extra_info[f"n{row.n_nodes}_hottest"] = round(
+            row.hottest_end_temp, 2
+        )
+        benchmark.extra_info[f"n{row.n_nodes}_triggers"] = row.triggers
+
+    smallest = result.rows[0]
+    largest = result.rows[-1]
+
+    # -- shape claims ---------------------------------------------------
+    # 1. weak scaling: execution time dilates only mildly with size
+    assert largest.execution_time < smallest.execution_time * 1.10
+    # 2. control effectiveness is scale-invariant: the hottest node at
+    #    32 nodes is no worse than at 4 nodes (+1 K tolerance)
+    assert largest.hottest_end_temp <= smallest.hottest_end_temp + 1.0
+    # 3. the rack gradient shows: hottest - coldest spread is real
+    assert largest.hottest_end_temp - largest.coldest_end_temp > 1.0
+    # 4. thermal triggers track the gradient: the warm top half
+    #    triggers at least as much as the cool bottom half
+    for row in result.rows:
+        assert row.triggers_top_half >= row.triggers_bottom_half
+    # 5. trigger volume grows with node count (per-node control, not a
+    #    global bottleneck)
+    assert largest.triggers > smallest.triggers

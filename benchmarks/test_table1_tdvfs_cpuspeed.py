@@ -1,0 +1,67 @@
+"""Benchmark harness: Table 1 — CPUSPEED vs tDVFS across fan levels.
+
+Regenerates the paper's central table: BT.B.4 under both daemons at
+maximum PWM duties of 75/50/25 %, reporting frequency changes,
+execution time, average wall power and power-delay product.
+
+Paper's reference rows (CPUSPEED | tDVFS):
+
+====  ==============  ===============  ===============
+cap   # freq changes  exec time (s)    avg power (W)
+====  ==============  ===============  ===============
+75%   101 | 2         219 | 219        99.78 | 97.93
+50%   122 | 2         222 | 233        99.30 | 94.19
+25%   139 | 3         223 | 234        100.80 | 92.78
+====  ==============  ===============  ===============
+
+with tDVFS winning the power-delay product at every cap.
+"""
+
+from repro.experiments import table1_tdvfs_cpuspeed as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_table1_tdvfs_cpuspeed(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for cell in result.cells:
+        key = f"{cell.daemon}@{int(cell.max_duty * 100)}"
+        benchmark.extra_info[f"{key}_changes"] = cell.freq_changes
+        benchmark.extra_info[f"{key}_time"] = round(cell.execution_time, 1)
+        benchmark.extra_info[f"{key}_power"] = round(cell.avg_power, 2)
+        benchmark.extra_info[f"{key}_pdp"] = round(cell.power_delay_product)
+
+    # -- shape claims -----------------------------------------------------
+    for cap in (0.75, 0.50, 0.25):
+        cs = result.cell("cpuspeed", cap)
+        td = result.cell("tdvfs", cap)
+        # 1. two-orders-of-magnitude fewer changes (paper: up to 98.36%)
+        assert cs.freq_changes > 80
+        assert td.freq_changes <= 5
+        # 2. tDVFS never out-draws CPUSPEED
+        assert td.avg_power < cs.avg_power
+        # 3. tDVFS wins the combined metric everywhere
+        assert result.pdp_winner(cap) == "tdvfs"
+        # 4. absolute numbers live in the paper's bands
+        assert 88.0 < cs.avg_power < 105.0
+        assert 88.0 < td.avg_power < 105.0
+        assert 205.0 < cs.execution_time < 250.0
+        assert 205.0 < td.execution_time < 250.0
+
+    # 5. tDVFS trades time for power as the fan weakens
+    assert (
+        result.cell("tdvfs", 0.25).execution_time
+        > result.cell("tdvfs", 0.75).execution_time
+    )
+    assert (
+        result.cell("tdvfs", 0.25).avg_power
+        < result.cell("tdvfs", 0.75).avg_power
+    )
+    # 6. CPUSPEED flaps more as the plant gets hotter
+    assert (
+        result.cell("cpuspeed", 0.25).freq_changes
+        >= result.cell("cpuspeed", 0.75).freq_changes
+    )

@@ -1,0 +1,51 @@
+"""Benchmark harness: workload-suite thermal signatures.
+
+The paper's fourth contribution — application behaviour creates the
+thermal/power opportunity — quantified across EP/BT/MG/CG under the
+hybrid controller vs CPUSPEED.
+"""
+
+from repro.experiments import workload_suite as exp
+from repro.experiments.platform import DEFAULT_SEED
+
+from .conftest import emit, run_once
+
+
+def test_workload_suite(benchmark):
+    result = run_once(benchmark, exp.run, seed=DEFAULT_SEED)
+    emit(exp.render(result))
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.workload}_util"] = round(row.mean_util, 2)
+        benchmark.extra_info[f"{row.workload}_T_hybrid"] = round(
+            row.hybrid_mean_temp, 1
+        )
+        benchmark.extra_info[f"{row.workload}_chg_cpuspeed"] = row.cpuspeed_changes
+
+    ep = result.row("EP.B.4")
+    bt = result.row("BT.B.4")
+    mg = result.row("MG.B.4")
+    cg = result.row("CG.B.4")
+
+    # -- shape claims -----------------------------------------------------
+    # 1. the suite spans a real utilization gradient ...
+    assert ep.mean_util > bt.mean_util > mg.mean_util > cg.mean_util
+    assert ep.mean_util - cg.mean_util > 0.2
+    # 2. ... which maps onto a thermal gradient (the "opportunity")
+    assert (
+        ep.hybrid_mean_temp
+        > bt.hybrid_mean_temp
+        > mg.hybrid_mean_temp
+        > cg.hybrid_mean_temp
+    )
+    # 3. utilization governors are wildly workload-dependent — their
+    #    change counts swing by orders of magnitude across the suite
+    counts = [r.cpuspeed_changes for r in result.rows]
+    assert max(counts) > 100
+    assert min(counts) < 30
+    # 4. the unified controller's behaviour is workload-*insensitive*:
+    #    a handful of deliberate changes everywhere
+    assert all(r.hybrid_changes <= 5 for r in result.rows)
+    # 5. and it never pays an energy premium for that stability
+    for row in result.rows:
+        assert row.hybrid_energy_kj <= row.cpuspeed_energy_kj * 1.01

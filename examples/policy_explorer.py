@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Explore the P_p policy space: the temperature/power/performance
+frontier.
+
+The paper's single knob P_p spans temperature-oriented (small) to
+cost-oriented (large) control.  This example sweeps P_p over the whole
+range on the hybrid controller (BT.B.4, fan capped at 50 %) and prints
+the resulting frontier — the table an operator would consult to choose
+a site policy.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro import Cluster, ClusterConfig, Policy
+from repro.analysis.tables import Table
+from repro.governors import hybrid_governors
+from repro.workloads import bt_b_4
+
+PP_VALUES = (10, 25, 40, 50, 60, 75, 90)
+
+
+def run_policy(pp: int):
+    cluster = Cluster(ClusterConfig(n_nodes=4))
+    for node in cluster.nodes:
+        cluster.add_governor(
+            node,
+            hybrid_governors(
+                node, Policy(pp=pp), max_duty=0.50, events=cluster.events
+            ),
+        )
+    job = bt_b_4(rng=cluster.rngs.stream("workload"), iterations=120)
+    result = cluster.run_job(job)
+    temp = result.traces["node0.temp"]
+    end = result.execution_time
+    triggers = result.events.filter(category="tdvfs.trigger")
+    return {
+        "mean_temp": temp.mean(),
+        "end_temp": temp.window(end - 15.0, end).mean(),
+        "power": result.cluster_average_power,
+        "time": result.execution_time,
+        "energy_kj": result.cluster_energy / 1000.0,
+        "triggers": len(triggers),
+        "first_trigger": triggers[0].time if triggers else None,
+    }
+
+
+def main() -> None:
+    table = Table(
+        headers=[
+            "P_p",
+            "mean T (degC)",
+            "end T (degC)",
+            "avg power (W/node)",
+            "exec time (s)",
+            "energy (kJ)",
+            "tDVFS triggers",
+            "first trigger (s)",
+        ],
+        formats=["d", ".1f", ".1f", ".2f", ".1f", ".1f", "d", None],
+        title=(
+            "P_p policy frontier: hybrid control, BT.B.4, fan capped at 50% "
+            "(small P_p = temperature-oriented, large = cost-oriented)"
+        ),
+    )
+    for pp in PP_VALUES:
+        row = run_policy(pp)
+        table.add_row(
+            pp,
+            row["mean_temp"],
+            row["end_temp"],
+            row["power"],
+            row["time"],
+            row["energy_kj"],
+            row["triggers"],
+            "never" if row["first_trigger"] is None else f"{row['first_trigger']:.0f}",
+        )
+    print(table.render())
+    print()
+    print(
+        "Reading the frontier: moving down the table (larger P_p) trades\n"
+        "degrees of operating temperature for watts and seconds; the\n"
+        "first-trigger column shows the coordination effect (aggressive\n"
+        "fans defer the in-band technique)."
+    )
+
+
+if __name__ == "__main__":
+    main()

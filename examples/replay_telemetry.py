@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Bring your own workload: replay recorded utilization telemetry.
+
+Shops that want to evaluate the controller against *their* workload
+don't need to model it — a utilization time series (sar, collectl,
+Prometheus node-exporter, IPMI SDR dumps) replays directly through
+:class:`repro.workloads.traces.UtilizationTrace`.
+
+This example synthesizes a realistic "web server under a traffic
+spike" trace (diurnal baseline, a flash-crowd burst, a batch job at the
+end), replays it on one node under three control configurations, and
+compares the outcomes.
+
+Run:  python examples/replay_telemetry.py
+"""
+
+import numpy as np
+
+from repro import Cluster, ClusterConfig, Policy
+from repro.analysis.tables import Table
+from repro.governors import (
+    ConstantFanControl,
+    TraditionalFanControl,
+    hybrid_governors,
+)
+from repro.workloads.traces import TraceRank, UtilizationTrace
+
+
+def synthesize_telemetry(seed: int = 0) -> UtilizationTrace:
+    """A 10-minute ops trace sampled at 1 Hz."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(0.0, 600.0, 1.0)
+    baseline = 0.35 + 0.10 * np.sin(2 * np.pi * t / 600.0)
+    flash_crowd = 0.55 * np.exp(-0.5 * ((t - 240.0) / 40.0) ** 2)
+    batch = np.where(t > 480.0, 0.5, 0.0)
+    noise = rng.normal(0.0, 0.04, size=t.shape)
+    util = np.clip(baseline + flash_crowd + batch + noise, 0.0, 1.0)
+    return UtilizationTrace(t.tolist(), util.tolist())
+
+
+def replay(trace: UtilizationTrace, rig: str):
+    cluster = Cluster(ClusterConfig(n_nodes=1))
+    node = cluster.nodes[0]
+    if rig == "constant-75%":
+        cluster.add_governor(
+            node, ConstantFanControl(node.make_fan_driver(), duty=0.75)
+        )
+    elif rig == "traditional":
+        cluster.add_governor(
+            node, TraditionalFanControl(node.make_fan_driver())
+        )
+    else:  # hybrid
+        cluster.add_governor(
+            node,
+            hybrid_governors(
+                node, Policy(pp=40), max_duty=0.75, events=cluster.events
+            ),
+        )
+    job = TraceRank(trace, name="telemetry", tail=30.0).build()
+    result = cluster.run_job(job)
+    temp = result.traces["node0.temp"]
+    return {
+        "mean_temp": temp.mean(),
+        "max_temp": temp.max(),
+        "energy_kj": result.energy_joules[0] / 1000.0,
+        "mean_duty": result.traces["node0.duty"].mean(),
+    }
+
+
+def main() -> None:
+    trace = synthesize_telemetry()
+    print(
+        f"replaying {len(trace)} telemetry samples "
+        f"({trace.duration:.0f} s of recorded utilization)\n"
+    )
+    table = Table(
+        headers=[
+            "configuration",
+            "mean T (degC)",
+            "max T (degC)",
+            "energy (kJ)",
+            "mean fan duty (%)",
+        ],
+        formats=[None, ".1f", ".1f", ".2f", ".1f"],
+        title="Telemetry replay: three thermal control configurations",
+    )
+    for rig in ("constant-75%", "traditional", "hybrid"):
+        row = replay(trace, rig)
+        table.add_row(
+            rig,
+            row["mean_temp"],
+            row["max_temp"],
+            row["energy_kj"],
+            row["mean_duty"] * 100,
+        )
+    print(table.render())
+    print()
+    print(
+        "The hybrid configuration rides the flash crowd with the fan\n"
+        "(no frequency cost for a bursty, latency-sensitive service)\n"
+        "while spending far less fan energy than a pinned 75% duty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Re-draw the paper's key figures as terminal charts.
+
+No plotting dependency required: this regenerates the Figure 9 and
+Figure 6 data series and renders them with the built-in ASCII chart —
+enough to *see* "CPUSPEED climbs while tDVFS plateaus" and "dynamic
+stabilizes below the static curve" right in the shell.
+
+Run:  python examples/terminal_figures.py          (~15 s)
+      python examples/terminal_figures.py --quick  (~3 s)
+"""
+
+import sys
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.experiments import series
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+
+    print("Figure 9 — tDVFS vs CPUSPEED, dynamic fan capped at 25% duty")
+    curves = series.fig09_series(quick=quick)
+    print(
+        ascii_chart(
+            {
+                "cpuspeed": curves["temperature.cpuspeed"],
+                "tdvfs": curves["temperature.tdvfs"],
+            },
+            y_label="degC",
+        )
+    )
+    print()
+    print("Figure 6 — BT.B.4 temperature under three fan policies (cap 75%)")
+    curves = series.fig06_series(quick=quick)
+    print(
+        ascii_chart(
+            {
+                "traditional": curves["temperature.traditional"],
+                "dynamic": curves["temperature.dynamic"],
+                "constant75": curves["temperature.constant"],
+            },
+            y_label="degC",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` on environments without the
+``wheel`` package (modern PEP 517 editable installs need it to build an
+editable wheel).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

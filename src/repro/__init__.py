@@ -1,0 +1,63 @@
+"""repro — unified in-band and out-of-band dynamic thermal control.
+
+A full reproduction of *"System-level, Unified In-band and Out-of-band
+Dynamic Thermal Control"* (Dong Li, Rong Ge, Kirk Cameron, ICPP 2010),
+including the simulated power-aware cluster the original ran on.
+
+Quickstart
+----------
+
+.. code-block:: python
+
+    from repro import Cluster, ClusterConfig, Policy
+    from repro.governors import DynamicFanControl, TDvfs
+    from repro.workloads import bt_b_4
+
+    cluster = Cluster(ClusterConfig(n_nodes=4))
+    policy = Policy(pp=50)
+    for node in cluster.nodes:
+        cluster.add_governor(node, DynamicFanControl(
+            node.make_fan_driver(max_duty=0.75), policy,
+            events=cluster.events))
+        cluster.add_governor(node, TDvfs(
+            node.dvfs, policy, events=cluster.events))
+    result = cluster.run_job(bt_b_4(rng=cluster.rngs.stream("wl")))
+    print(result.execution_time, result.cluster_average_power)
+
+Layering (bottom → top):
+
+* physical substrates: :mod:`repro.thermal`, :mod:`repro.cpu`,
+  :mod:`repro.fan`, :mod:`repro.i2c`
+* machinery: :mod:`repro.sim`, :mod:`repro.cluster`,
+  :mod:`repro.workloads`
+* the paper's contribution: :mod:`repro.core`
+* complete daemons: :mod:`repro.governors`
+* measurement & reproduction: :mod:`repro.analysis`,
+  :mod:`repro.experiments`
+"""
+
+from .cluster import Cluster, Node, RunResult
+from .config import ClusterConfig, NodeConfig
+from .core import (
+    Policy,
+    ThermalControlArray,
+    TwoLevelWindow,
+    UnifiedThermalController,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "Node",
+    "RunResult",
+    "ClusterConfig",
+    "NodeConfig",
+    "Policy",
+    "ThermalControlArray",
+    "TwoLevelWindow",
+    "UnifiedThermalController",
+    "ReproError",
+]

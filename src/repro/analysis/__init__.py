@@ -1,0 +1,35 @@
+"""Measurement and evaluation utilities.
+
+* :mod:`repro.analysis.metrics` — the quantities the paper reports:
+  average/max temperature, stabilization time, average wall power,
+  power-delay product, frequency-change counts, trigger times.
+* :mod:`repro.analysis.summarize` — one-call summaries of a
+  :class:`~repro.cluster.cluster.RunResult` and comparisons between
+  runs.
+* :mod:`repro.analysis.tables` — plain-text table rendering used by
+  the benchmark harnesses to print paper-style rows.
+* :mod:`repro.analysis.export` — CSV/JSON export of run artifacts for
+  external plotting tools.
+"""
+
+from .export import export_run, export_trace_csv
+from .metrics import (
+    RunMetrics,
+    compute_metrics,
+    frequency_residency,
+    stabilization_time,
+)
+from .summarize import compare_runs, summarize_run
+from .tables import Table
+
+__all__ = [
+    "RunMetrics",
+    "compute_metrics",
+    "stabilization_time",
+    "frequency_residency",
+    "summarize_run",
+    "compare_runs",
+    "Table",
+    "export_trace_csv",
+    "export_run",
+]

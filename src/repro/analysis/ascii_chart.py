@@ -1,0 +1,134 @@
+"""Terminal (ASCII) line charts for traces.
+
+The reproduction has no plotting dependency; for a quick visual check
+of a figure's shape straight in the terminal, :func:`ascii_chart`
+renders one or more curves as a block-character plot:
+
+.. code-block:: text
+
+    58.0 |                                 ..····^^^^
+         |                        ..··^^···
+    48.0 |        ..··^^··further..
+         |  ..··
+    38.0 |··
+         +--------------------------------------------
+         0 s                                      230 s
+
+It is intentionally simple — uniform x-resampling, shared y-axis,
+one glyph per column per curve — but it is enough to eyeball the
+"CPUSPEED climbs / tDVFS plateaus" shapes without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+#: Glyphs assigned to successive curves.
+GLYPHS = "*o+x#@%&"
+
+
+def _resample(times: np.ndarray, values: np.ndarray, columns: int, t0: float, t1: float) -> np.ndarray:
+    """Mean value per column bin; NaN for empty bins."""
+    edges = np.linspace(t0, t1, columns + 1)
+    out = np.full(columns, np.nan)
+    idx = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, columns - 1)
+    for col in range(columns):
+        mask = idx == col
+        if np.any(mask):
+            out[col] = float(np.mean(values[mask]))
+    return out
+
+
+def ascii_chart(
+    curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render curves as a text chart.
+
+    Parameters
+    ----------
+    curves:
+        Label → (times, values).  All curves share both axes.
+    width:
+        Plot columns (x resolution).
+    height:
+        Plot rows (y resolution).
+    y_label:
+        Optional unit string shown in the legend line.
+
+    Returns
+    -------
+    str
+        The chart, legend included, ready to print.
+    """
+    if not curves:
+        raise ConfigurationError("ascii_chart needs at least one curve")
+    if width < 8 or height < 4:
+        raise ConfigurationError(
+            f"chart too small ({width}x{height}); need >= 8x4"
+        )
+    if len(curves) > len(GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(GLYPHS)} curves supported, got {len(curves)}"
+        )
+
+    arrays = {
+        label: (np.asarray(t, dtype=float), np.asarray(v, dtype=float))
+        for label, (t, v) in curves.items()
+    }
+    for label, (t, v) in arrays.items():
+        if t.size == 0 or t.size != v.size:
+            raise ConfigurationError(f"curve {label!r} is empty or ragged")
+
+    t0 = min(float(t[0]) for t, _ in arrays.values())
+    t1 = max(float(t[-1]) for t, _ in arrays.values())
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    y_lo = min(float(np.min(v)) for _, v in arrays.values())
+    y_hi = max(float(np.max(v)) for _, v in arrays.values())
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (t, v)), glyph in zip(arrays.items(), GLYPHS):
+        sampled = _resample(t, v, width, t0, t1)
+        for col, value in enumerate(sampled):
+            if np.isnan(value):
+                continue
+            row = int((y_hi - value) / (y_hi - y_lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+
+    margin = 8
+    lines = []
+    for row in range(height):
+        if row == 0:
+            tag = f"{y_hi:7.1f} "
+        elif row == height - 1:
+            tag = f"{y_lo:7.1f} "
+        elif row == height // 2:
+            tag = f"{(y_lo + y_hi) / 2:7.1f} "
+        else:
+            tag = " " * margin
+        lines.append(tag + "|" + "".join(grid[row]))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{t0:.0f} s".ljust(width - 10) + f"{t1:.0f} s"
+    lines.append(" " * (margin + 1) + x_axis)
+    legend = "  ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(arrays.items(), GLYPHS)
+    )
+    if y_label:
+        legend = f"[{y_label}]  " + legend
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Export run artifacts to plain files (CSV / JSON / text).
+
+Experiments often end in a plotting tool; this module writes the
+standard :class:`~repro.cluster.cluster.RunResult` artifacts to a
+directory in formats anything can ingest:
+
+* one CSV per trace (``node0.temp.csv`` → ``time,value`` rows),
+* ``events.txt`` — the event log, one line per event,
+* ``summary.json`` — the per-node :class:`~repro.analysis.metrics.RunMetrics`.
+
+No third-party dependencies: ``csv`` and ``json`` from the standard
+library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..cluster.cluster import RunResult
+from ..errors import ConfigurationError
+from ..sim.trace import Trace
+from .metrics import compute_metrics
+
+__all__ = ["export_trace_csv", "export_run"]
+
+
+def export_trace_csv(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write one trace as a two-column CSV; returns the path written."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", trace.name])
+        for t, v in zip(trace.times, trace.values):
+            writer.writerow([f"{t:.6f}", f"{v:.6f}"])
+    return out
+
+
+def export_run(
+    result: RunResult,
+    directory: Union[str, Path],
+    traces: Optional[List[str]] = None,
+) -> Dict[str, Path]:
+    """Write a finished run's artifacts into ``directory``.
+
+    Parameters
+    ----------
+    result:
+        The finished run.
+    directory:
+        Target directory (created if missing).
+    traces:
+        Trace names to export; default: all recorded traces.
+
+    Returns
+    -------
+    dict
+        Artifact name → written path (``"summary"``, ``"events"``, and
+        one entry per trace).
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    names = traces if traces is not None else result.traces.names()
+    for name in names:
+        if name not in result.traces:
+            raise ConfigurationError(f"no trace named {name!r} in the run")
+        written[name] = export_trace_csv(
+            result.traces[name], out_dir / f"{name}.csv"
+        )
+
+    events_path = out_dir / "events.txt"
+    with events_path.open("w") as handle:
+        for event in result.events:
+            handle.write(str(event) + "\n")
+    written["events"] = events_path
+
+    summary = {
+        "job": result.job_name,
+        "execution_time_s": result.execution_time,
+        "cluster_average_power_w": result.cluster_average_power,
+        "cluster_energy_j": result.cluster_energy,
+        "nodes": {},
+    }
+    for node_index in range(len(result.average_power)):
+        metrics = compute_metrics(result, node=node_index)
+        summary["nodes"][f"node{node_index}"] = {
+            "average_power_w": metrics.average_power,
+            "power_delay_product_ws": metrics.power_delay_product,
+            "energy_j": metrics.energy,
+            "freq_changes": metrics.freq_changes,
+            "mean_temperature_c": metrics.mean_temperature,
+            "max_temperature_c": metrics.max_temperature,
+            "final_temperature_c": metrics.final_temperature,
+            "mean_duty": metrics.mean_duty,
+            "stabilization_s": metrics.stabilization,
+            "residency": {f"{k:.1f}": v for k, v in metrics.residency.items()},
+        }
+    summary_path = out_dir / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True))
+    written["summary"] = summary_path
+    return written

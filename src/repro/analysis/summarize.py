@@ -1,0 +1,79 @@
+"""Run summaries and cross-run comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..cluster.cluster import RunResult
+from ..errors import ConfigurationError
+from .metrics import RunMetrics, compute_metrics
+from .tables import Table
+
+__all__ = ["summarize_run", "compare_runs"]
+
+
+def summarize_run(result: RunResult, node: int = 0) -> str:
+    """A human-readable one-run summary (what the CLI prints)."""
+    m = compute_metrics(result, node=node)
+    residency = ", ".join(
+        f"{ghz:.1f}GHz:{frac * 100:.0f}%" for ghz, frac in sorted(m.residency.items(), reverse=True)
+    )
+    lines = [
+        f"job               : {result.job_name}",
+        f"execution time    : {m.execution_time:.1f} s",
+        f"avg wall power    : {m.average_power:.2f} W (node{node})",
+        f"energy            : {m.energy / 1000:.1f} kJ",
+        f"power-delay prod. : {m.power_delay_product:.0f} W*s",
+        f"freq changes      : {m.freq_changes}",
+        f"temperature       : mean {m.mean_temperature:.1f} degC, "
+        f"max {m.max_temperature:.1f} degC, final {m.final_temperature:.1f} degC",
+        f"stabilized at     : {m.stabilization:.1f} s",
+        f"mean fan duty     : {m.mean_duty * 100:.1f} %",
+        f"freq residency    : {residency}",
+    ]
+    return "\n".join(lines)
+
+
+def compare_runs(
+    runs: Dict[str, RunResult],
+    node: int = 0,
+    title: str = "run comparison",
+) -> Table:
+    """Tabulate several labelled runs side by side (Table-1 style).
+
+    Parameters
+    ----------
+    runs:
+        Label → finished run.
+    node:
+        Node whose metrics are reported.
+    title:
+        Table caption.
+    """
+    if not runs:
+        raise ConfigurationError("compare_runs needs at least one run")
+    table = Table(
+        headers=[
+            "config",
+            "# freq changes",
+            "exec time (s)",
+            "avg power (W)",
+            "PDP (W*s)",
+            "mean T (degC)",
+            "max T (degC)",
+        ],
+        formats=[None, "d", ".1f", ".2f", ".0f", ".1f", ".1f"],
+        title=title,
+    )
+    for label, result in runs.items():
+        m: RunMetrics = compute_metrics(result, node=node)
+        table.add_row(
+            label,
+            m.freq_changes,
+            m.execution_time,
+            m.average_power,
+            m.power_delay_product,
+            m.mean_temperature,
+            m.max_temperature,
+        )
+    return table

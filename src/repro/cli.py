@@ -1,0 +1,185 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig9 --quick --seed 7
+    python -m repro run all --export results/
+
+Each experiment prints its paper-style table; ``all`` runs the whole
+evaluation section in order (several minutes of simulated cluster
+time, well under a minute of wall time each).  With ``--export DIR``
+each experiment also writes ``<name>.txt`` (the rendered table) and
+``<name>.json`` (the raw result object) into ``DIR`` for downstream
+tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import enum
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, List, Optional
+
+from .experiments import REGISTRY
+from .experiments.platform import DEFAULT_SEED
+
+__all__ = ["main", "build_parser", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert experiment result objects to JSON-safe data.
+
+    Handles dataclasses, enums (by value), dict keys that are enums or
+    tuples, and falls back to ``str`` for anything exotic.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {
+            str(to_jsonable(key)): to_jsonable(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-thermal",
+        description=(
+            "Reproduce the evaluation of 'System-level, Unified In-band "
+            "and Out-of-band Dynamic Thermal Control' (ICPP 2010) on a "
+            "simulated power-aware cluster."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY) + ["all"],
+        help="experiment id (see 'list')",
+    )
+    run_p.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"platform seed (default {DEFAULT_SEED})",
+    )
+    run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened workloads (for smoke testing)",
+    )
+    run_p.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="write <name>.txt and <name>.json per experiment into DIR",
+    )
+
+    series_p = sub.add_parser(
+        "series", help="regenerate a figure's raw curves as CSVs"
+    )
+    from .experiments.series import SERIES_REGISTRY
+
+    series_p.add_argument(
+        "figure",
+        choices=sorted(SERIES_REGISTRY),
+        help="figure whose curves to regenerate",
+    )
+    series_p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="platform seed"
+    )
+    series_p.add_argument(
+        "--quick", action="store_true", help="shortened workloads"
+    )
+    series_p.add_argument(
+        "--export",
+        metavar="DIR",
+        default="series_out",
+        help="directory for the per-curve CSVs (default: series_out/)",
+    )
+    return parser
+
+
+def _run_one(
+    name: str, seed: int, quick: bool, export: Optional[str] = None
+) -> None:
+    module, description = REGISTRY[name]
+    t0 = time.perf_counter()
+    result = module.run(seed=seed, quick=quick)
+    elapsed = time.perf_counter() - t0
+    rendered = module.render(result)
+    print(f"== {name}: {description} ==")
+    print(rendered)
+    print(f"({elapsed:.1f}s wall time)\n")
+    if export is not None:
+        out_dir = Path(export)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(rendered + "\n")
+        payload = {
+            "experiment": name,
+            "description": description,
+            "seed": seed,
+            "quick": quick,
+            "wall_time_s": round(elapsed, 3),
+            "result": to_jsonable(result),
+        }
+        (out_dir / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in REGISTRY)
+        for name in REGISTRY:
+            print(f"{name:<{width}}  {REGISTRY[name][1]}")
+        return 0
+
+    if args.command == "series":
+        import csv
+
+        from .experiments.series import SERIES_REGISTRY
+
+        curves = SERIES_REGISTRY[args.figure](seed=args.seed, quick=args.quick)
+        out_dir = Path(args.export)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for label, (times, values) in curves.items():
+            path = out_dir / f"{args.figure}.{label}.csv"
+            with path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["time_s", label])
+                for t, v in zip(times, values):
+                    writer.writerow([f"{t:.6f}", f"{v:.6f}"])
+            print(f"wrote {path} ({len(times)} samples)")
+        return 0
+
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, seed=args.seed, quick=args.quick, export=args.export)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Cluster substrate: nodes, the cluster assembly, and power metering.
+
+* :mod:`repro.cluster.power_meter` — the Watts up? Pro emulation: wall
+  power integration per node and cluster-wide.
+* :mod:`repro.cluster.node` — one node's full wiring: core → power →
+  fan chip → motor → package → meter.
+* :mod:`repro.cluster.cluster` — N nodes + a parallel job + governors
+  under one simulation engine, with the run/trace/report plumbing every
+  experiment uses.
+"""
+
+from .cluster import Cluster, RunResult
+from .node import Node
+from .power_meter import PowerMeter
+
+__all__ = ["PowerMeter", "Node", "Cluster", "RunResult"]

@@ -1,0 +1,255 @@
+"""The cluster assembly: nodes + job + governors under one engine.
+
+:class:`Cluster` is the top-level object experiments interact with:
+
+.. code-block:: python
+
+    cluster = Cluster(ClusterConfig(n_nodes=4))
+    job = bt_b_4(rng=cluster.rngs.stream("workload"))
+    for node in cluster.nodes:
+        cluster.add_governor(node, DynamicFanControl(...))
+    result = cluster.run_job(job)
+    result.execution_time, result.traces["node0.temp"].mean()
+
+Responsibilities:
+
+* build N :class:`~repro.cluster.node.Node` objects with independent
+  RNG streams,
+* bind a :class:`~repro.workloads.base.Job`'s ranks onto the nodes,
+* deliver sensor samples (at the configured 4 Hz) and control
+  intervals to the attached governors,
+* record the standard trace set every experiment consumes
+  (``node{i}.temp/duty/rpm/freq_ghz/power/util``), and
+* run until the job finishes, returning a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import ClusterConfig
+from ..errors import ConfigurationError, SimulationError
+from ..governors.base import Governor
+from ..sim.engine import SimulationEngine
+from ..sim.events import EventLog
+from ..sim.rng import RngStreams
+from ..sim.trace import TraceSet
+from ..workloads.base import Job
+from .node import Node
+
+__all__ = ["Cluster", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one cluster run.
+
+    Attributes
+    ----------
+    execution_time:
+        Wall time from job start to the last rank finishing, seconds.
+    traces:
+        The recorded trace set (sensor cadence).
+    events:
+        All discrete events (DVFS changes, governor actions).
+    average_power:
+        Mean wall power per node over the run, W (index-aligned).
+    energy_joules:
+        Wall energy per node over the run, J.
+    job_name:
+        Name of the job that ran.
+    """
+
+    execution_time: float
+    traces: TraceSet
+    events: EventLog
+    average_power: List[float]
+    energy_joules: List[float]
+    job_name: str
+
+    @property
+    def cluster_average_power(self) -> float:
+        """Mean of the per-node average powers, W."""
+        return sum(self.average_power) / len(self.average_power)
+
+    @property
+    def cluster_energy(self) -> float:
+        """Total wall energy across nodes, J."""
+        return sum(self.energy_joules)
+
+    def power_delay_product(self, node: int = 0) -> float:
+        """Table 1's metric: average power × execution time (W·s)."""
+        return self.average_power[node] * self.execution_time
+
+    def dvfs_change_count(self, node: int = 0) -> int:
+        """Number of P-state transitions on ``node`` during the run."""
+        return self.events.count("dvfs.change", source=f"node{node}.dvfs")
+
+
+class Cluster:
+    """N simulated nodes under one fixed-step engine.
+
+    Parameters
+    ----------
+    config:
+        Cluster-wide configuration (node physics, dt, seed).
+    ambient_factory:
+        Optional callable ``(node_index) -> AmbientModel`` giving each
+        node its own inlet model — used by the scaling experiment to
+        impose a rack thermal gradient.  Default: every node sees the
+        constant ambient from the node config.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        ambient_factory=None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.rngs = RngStreams(self.config.seed)
+        self.engine = SimulationEngine(dt=self.config.dt)
+        self.events: EventLog = self.engine.events
+        self.traces: TraceSet = self.engine.traces
+        self.nodes: List[Node] = []
+        for i in range(self.config.n_nodes):
+            node = Node(
+                name=f"node{i}",
+                config=self.config.node,
+                events=self.events,
+                rng=self.rngs.stream(f"node{i}.sensor"),
+                ambient=ambient_factory(i) if ambient_factory else None,
+            )
+            self.nodes.append(node)
+            self.engine.add_component(node)
+        self._governors: Dict[str, List[Governor]] = {n.name: [] for n in self.nodes}
+        self._wired = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def node(self, index: int) -> Node:
+        """The ``index``-th node."""
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"node index {index} out of range (cluster has "
+                f"{len(self.nodes)} nodes)"
+            ) from None
+
+    def add_governor(self, node: Node, governor: Governor) -> Governor:
+        """Attach a governor daemon to ``node``."""
+        if node.name not in self._governors:
+            raise ConfigurationError(f"unknown node {node.name!r}")
+        if self._wired:
+            raise SimulationError("cannot attach governors after the run started")
+        self._governors[node.name].append(governor)
+        return governor
+
+    def add_governor_per_node(self, factory) -> List[Governor]:
+        """Attach ``factory(node)``'s governor to every node; returns them."""
+        return [self.add_governor(n, factory(n)) for n in self.nodes]
+
+    def bind_job(self, job: Job) -> None:
+        """Assign job ranks to nodes (rank i → node i).
+
+        The job may span fewer ranks than the cluster has nodes; the
+        remainder idle.  More ranks than nodes is an error.
+        """
+        if job.n_ranks > len(self.nodes):
+            raise ConfigurationError(
+                f"job {job.name!r} has {job.n_ranks} ranks but the cluster "
+                f"only has {len(self.nodes)} nodes"
+            )
+        for i, rank in enumerate(job.ranks):
+            self.nodes[i].bind_rank(rank)
+
+    # -- running ------------------------------------------------------------
+
+    def _wire_tasks(self) -> None:
+        """Register the sensor/trace task and per-governor interval tasks."""
+        if self._wired:
+            return
+        self._wired = True
+
+        def sample_and_record(t: float) -> None:
+            for node in self.nodes:
+                temp = node.sensor.sample(t)
+                self.traces.record(f"{node.name}.temp", t, temp)
+                self.traces.record(f"{node.name}.duty", t, node.fan_duty)
+                self.traces.record(f"{node.name}.rpm", t, node.fan_rpm)
+                self.traces.record(
+                    f"{node.name}.freq_ghz", t, node.dvfs.pstate.frequency_ghz
+                )
+                self.traces.record(f"{node.name}.power", t, node.wall_power)
+                self.traces.record(f"{node.name}.util", t, node.core.utilization)
+                for governor in self._governors[node.name]:
+                    governor.on_sample(t, temp)
+
+        self.engine.every(self.config.node.sensor_period, sample_and_record)
+
+        for node in self.nodes:
+            for governor in self._governors[node.name]:
+                # Bind loop variables explicitly; each governor gets its
+                # own periodic task at its own control interval.
+                self.engine.every(
+                    governor.period,
+                    (lambda gov: lambda t: gov.on_interval(t))(governor),
+                )
+
+        for node in self.nodes:
+            for governor in self._governors[node.name]:
+                governor.start(self.engine.clock.now)
+
+    def run_job(
+        self,
+        job: Job,
+        timeout: float = 3600.0,
+        tail: float = 0.0,
+    ) -> RunResult:
+        """Bind ``job``, run until it finishes, and summarize.
+
+        Parameters
+        ----------
+        job:
+            The parallel workload.
+        timeout:
+            Hard ceiling on simulated seconds; exceeding it raises
+            :class:`SimulationError` (a stuck barrier would otherwise
+            hang forever).
+        tail:
+            Extra seconds to keep simulating after the job finishes
+            (lets temperature decay be observed).
+        """
+        self.bind_job(job)
+        self._wire_tasks()
+        for node in self.nodes:
+            node.meter.reset()
+        t0 = self.engine.clock.now
+
+        self.engine.run(
+            until=lambda: job.finished,
+            max_ticks=self.engine.clock.ticks_for(timeout),
+        )
+        if not job.finished:
+            raise SimulationError(
+                f"job {job.name!r} did not finish within {timeout}s of "
+                "simulated time"
+            )
+        execution_time = self.engine.clock.now - t0
+        if tail > 0:
+            self.engine.run(duration=tail)
+
+        return RunResult(
+            execution_time=execution_time,
+            traces=self.traces,
+            events=self.events,
+            average_power=[n.meter.average_power for n in self.nodes],
+            energy_joules=[n.meter.energy_joules for n in self.nodes],
+            job_name=job.name,
+        )
+
+    def run_for(self, duration: float) -> None:
+        """Advance the cluster with whatever is bound for ``duration`` s."""
+        self._wire_tasks()
+        self.engine.run(duration=duration)

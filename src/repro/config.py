@@ -1,0 +1,146 @@
+"""Platform configuration: everything needed to build a simulated node.
+
+:class:`NodeConfig` aggregates the calibration constants of all
+substrates into one validated object; :class:`ClusterConfig` scales it
+to N nodes.  The defaults describe the paper's testbed (§4.1): AMD
+Athlon64 4000+ processors, a 4300 RPM fan behind an ADT7467 controller
+with the Figure-1 curve (PWM_min 10 %, T_min 38 °C, T_max 82 °C), and
+lm-sensors sampling at 4 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .cpu.power import PowerParams
+from .cpu.pstate import ATHLON64_4000, PStateTable
+from .errors import ConfigurationError
+from .fan.adt7467 import Adt7467Config
+from .fan.aero import FanAero
+from .fan.motor import MotorParams
+from .thermal.convection import ConvectionModel
+from .thermal.package import PackageParams
+from .thermal.sensor import SensorParams
+from .units import require_non_negative, require_positive
+
+__all__ = ["NodeConfig", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Full physical description of one cluster node.
+
+    Attributes
+    ----------
+    pstates:
+        The processor's DVFS ladder.
+    power:
+        CPU power model constants.
+    package:
+        Die/heatsink thermal constants.
+    convection:
+        Airflow → resistance calibration.
+    motor:
+        Fan motor constants.
+    aero:
+        Fan flow/power curves.
+    fan_chip:
+        ADT7467 power-on configuration.
+    sensor:
+        lm-sensors imperfection model.
+    baseboard_power:
+        Wall power of everything that is not CPU or fan (chipset,
+        DRAM, disks, PSU loss), W.  Calibrated so a busy node draws
+        ≈100 W at the wall, matching Table 1.
+    ambient_celsius:
+        Inlet air temperature, °C.
+    sensor_period:
+        Seconds between lm-sensors samples (paper: 0.25 s = 4 Hz).
+    dvfs_latency:
+        P-state transition stall, seconds.
+    prochot_temp:
+        Hardware thermal-throttle (PROCHOT#) assertion temperature, °C.
+        Crossing it forces the slowest P-state until the die cools by
+        ``prochot_hysteresis`` — the "system slowdowns" the paper's
+        introduction warns about.
+    prochot_hysteresis:
+        PROCHOT de-assertion gap, K.
+    shutdown_temp:
+        THERMTRIP# temperature, °C: the node powers off and stays off —
+        the "shutdowns ... loss of availability" failure mode.
+    hw_protection:
+        Master enable for both mechanisms (on, as on real silicon).
+    """
+
+    pstates: PStateTable = field(default_factory=lambda: ATHLON64_4000)
+    power: PowerParams = field(default_factory=PowerParams)
+    package: PackageParams = field(default_factory=PackageParams)
+    convection: ConvectionModel = field(default_factory=ConvectionModel)
+    motor: MotorParams = field(default_factory=MotorParams)
+    aero: FanAero = field(default_factory=FanAero)
+    fan_chip: Adt7467Config = field(default_factory=Adt7467Config)
+    sensor: SensorParams = field(default_factory=SensorParams)
+    baseboard_power: float = 46.0
+    ambient_celsius: float = 28.0
+    sensor_period: float = 0.25
+    dvfs_latency: float = 1.0e-4
+    prochot_temp: float = 85.0
+    prochot_hysteresis: float = 8.0
+    shutdown_temp: float = 97.0
+    hw_protection: bool = True
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.baseboard_power, "baseboard_power")
+        require_positive(self.sensor_period, "sensor_period")
+        require_non_negative(self.dvfs_latency, "dvfs_latency")
+        require_positive(self.prochot_hysteresis, "prochot_hysteresis")
+        if self.prochot_temp >= self.shutdown_temp:
+            raise ConfigurationError(
+                f"prochot_temp ({self.prochot_temp}) must be below "
+                f"shutdown_temp ({self.shutdown_temp})"
+            )
+        if abs(self.motor.rpm_max - self.aero.rpm_max) > 1e-9:
+            raise ConfigurationError(
+                "motor.rpm_max and aero.rpm_max disagree "
+                f"({self.motor.rpm_max} vs {self.aero.rpm_max})"
+            )
+
+    def with_(self, **changes) -> "NodeConfig":
+        """A copy with the given fields replaced (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A homogeneous cluster of :class:`NodeConfig` nodes.
+
+    Attributes
+    ----------
+    n_nodes:
+        Node count (the paper's testbed runs 4).
+    node:
+        Per-node physical description.
+    dt:
+        Physics integration step, seconds.
+    seed:
+        Root seed for all stochastic elements.
+    """
+
+    n_nodes: int = 4
+    node: NodeConfig = field(default_factory=NodeConfig)
+    dt: float = 0.05
+    seed: int = 20100913  # ICPP 2010 conference date
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        require_positive(self.dt, "dt")
+        if self.dt > self.node.sensor_period:
+            raise ConfigurationError(
+                f"dt ({self.dt}s) must not exceed the sensor period "
+                f"({self.node.sensor_period}s)"
+            )
+
+    def with_(self, **changes) -> "ClusterConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

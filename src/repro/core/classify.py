@@ -1,0 +1,141 @@
+"""Thermal behaviour classification (paper §3.1, Figure 2).
+
+The paper sorts the thermal behaviour of parallel applications into
+three types — **sudden** (Type I), **gradual** (Type II) and **jitter**
+(Type III) — and argues a controller must react to I and II while
+refusing to chase III.  This module classifies a temperature series
+into those types (plus **steady** for quiescent stretches) using the
+same two-level window the controller itself runs, so the labels mean
+exactly "what the controller would perceive":
+
+* a round with a large ``|Δt_l1|`` is **sudden**;
+* otherwise, a full FIFO with a large ``|Δt_l2|`` is **gradual**;
+* otherwise, a round whose *internal* spread is large (the half-sums
+  cancelled a real oscillation) is **jitter**;
+* otherwise **steady**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .window import TwoLevelWindow
+
+__all__ = ["ThermalBehavior", "ClassifierThresholds", "classify_trace", "classify_profile"]
+
+
+class ThermalBehavior(enum.Enum):
+    """The paper's thermal behaviour taxonomy (plus a quiescent label)."""
+
+    SUDDEN = "sudden"    # Type I: drastic sustained change
+    GRADUAL = "gradual"  # Type II: slow steady drift
+    JITTER = "jitter"    # Type III: oscillation, no trend
+    STEADY = "steady"    # no significant activity
+
+
+@dataclass(frozen=True)
+class ClassifierThresholds:
+    """Decision thresholds in kelvin.
+
+    Attributes
+    ----------
+    sudden_delta:
+        Minimum ``|Δt_l1|`` (half-sum difference) to call a round
+        sudden.  Note the units: for a 4-entry window this is a sum
+        over 2 samples, so 1.5 K ≈ a 0.75 K/sample sustained move.
+    gradual_delta:
+        Minimum ``|Δt_l2|`` (rear-front of the FIFO) to call the longer
+        horizon gradual.
+    jitter_spread:
+        Minimum within-round standard deviation to call a trendless
+        round jitter.
+    """
+
+    sudden_delta: float = 1.5
+    gradual_delta: float = 0.75
+    jitter_spread: float = 0.35
+
+    def __post_init__(self) -> None:
+        for name in ("sudden_delta", "gradual_delta", "jitter_spread"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+
+
+def classify_trace(
+    times: Sequence[float],
+    values: Sequence[float],
+    l1_size: int = 4,
+    l2_size: int = 5,
+    thresholds: ClassifierThresholds | None = None,
+) -> List[Tuple[float, ThermalBehavior]]:
+    """Label each completed window round of a temperature series.
+
+    Parameters
+    ----------
+    times, values:
+        The temperature series (seconds, °C), equal length.
+    l1_size, l2_size:
+        Window geometry (paper defaults).
+    thresholds:
+        Decision thresholds.
+
+    Returns
+    -------
+    list of (time, behaviour):
+        One entry per completed level-one round.
+    """
+    t_arr = np.asarray(times, dtype=np.float64)
+    v_arr = np.asarray(values, dtype=np.float64)
+    if t_arr.shape != v_arr.shape or t_arr.ndim != 1:
+        raise ConfigurationError("times and values must be 1-D, equal length")
+    th = thresholds if thresholds is not None else ClassifierThresholds()
+    window = TwoLevelWindow(l1_size=l1_size, l2_size=l2_size)
+
+    labels: List[Tuple[float, ThermalBehavior]] = []
+    round_samples: List[float] = []
+    for t, v in zip(t_arr, v_arr):
+        round_samples.append(float(v))
+        update = window.push(float(t), float(v))
+        if update is None:
+            continue
+        spread = float(np.std(round_samples))
+        round_samples.clear()
+        if abs(update.delta_l1) >= th.sudden_delta:
+            label = ThermalBehavior.SUDDEN
+        elif (
+            update.delta_l2 is not None
+            and abs(update.delta_l2) >= th.gradual_delta
+        ):
+            label = ThermalBehavior.GRADUAL
+        elif spread >= th.jitter_spread:
+            label = ThermalBehavior.JITTER
+        else:
+            label = ThermalBehavior.STEADY
+        labels.append((update.t, label))
+    return labels
+
+
+def classify_profile(
+    times: Sequence[float],
+    values: Sequence[float],
+    **kwargs,
+) -> Dict[ThermalBehavior, float]:
+    """Fraction of window rounds carrying each behaviour label.
+
+    Convenience wrapper over :func:`classify_trace`; fractions sum to
+    1.0 (or the dict is all-zeros for traces too short to complete a
+    round).
+    """
+    labels = classify_trace(times, values, **kwargs)
+    counts: Dict[ThermalBehavior, float] = {b: 0.0 for b in ThermalBehavior}
+    if not labels:
+        return counts
+    for _, label in labels:
+        counts[label] += 1.0
+    total = float(len(labels))
+    return {b: c / total for b, c in counts.items()}

@@ -1,0 +1,96 @@
+"""Target mode identification (paper §3.2.2, final paragraph).
+
+Given the current slot index ``i`` in the thermal control array and the
+predicted temperature variation ``Δt`` from the history window, the
+next slot is
+
+.. math::
+
+    i' = i + c \\, \\Delta t, \\qquad c = \\frac{N - 1}{t_{max} - t_{min}}
+
+so that a swing across the whole safe temperature band maps onto the
+whole array.  The level-one variation is consulted first; only when it
+produces *no index change* is the level-two (gradual) variation tried —
+this ordering is what lets the controller respond to sudden events
+immediately while still tracking slow drift, and it is one of the
+design decisions the ablation experiment flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..units import clamp
+from .control_array import ThermalControlArray
+
+__all__ = ["ModeSelector", "Selection"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of one target-mode identification.
+
+    Attributes
+    ----------
+    slot:
+        The chosen 0-based slot index.
+    source:
+        Which delta drove the choice: ``"l1"``, ``"l2"`` or ``"hold"``.
+    """
+
+    slot: int
+    source: str
+
+
+class ModeSelector:
+    """Maps window deltas to control-array slots.
+
+    Parameters
+    ----------
+    array:
+        The thermal control array being indexed.
+    l2_when_l1_silent:
+        The paper's rule: consult Δt_l2 only when Δt_l1 yields no
+        change.  Set ``False`` (ablation) to *always* prefer Δt_l1 and
+        ignore Δt_l2 entirely.
+    """
+
+    def __init__(
+        self, array: ThermalControlArray, l2_when_l1_silent: bool = True
+    ) -> None:
+        self.array = array
+        self.l2_when_l1_silent = l2_when_l1_silent
+        self.c = array.policy.scale_coefficient(len(array))
+
+    def _candidate(self, slot: int, delta: float) -> int:
+        """Apply ``i + c·Δt`` with rounding and clamping to [0, N-1]."""
+        raw = slot + round(self.c * delta)
+        return int(clamp(raw, 0, len(self.array) - 1))
+
+    def select(
+        self,
+        current_slot: int,
+        delta_l1: float,
+        delta_l2: Optional[float],
+    ) -> Selection:
+        """Choose the next slot from the two window deltas.
+
+        Parameters
+        ----------
+        current_slot:
+            The controller's current 0-based slot.
+        delta_l1:
+            Level-one (sudden) variation, K.
+        delta_l2:
+            Level-two (gradual) variation, K, or ``None`` while the
+            FIFO is filling.
+        """
+        cand = self._candidate(current_slot, delta_l1)
+        if cand != current_slot:
+            return Selection(slot=cand, source="l1")
+        if self.l2_when_l1_silent and delta_l2 is not None:
+            cand = self._candidate(current_slot, delta_l2)
+            if cand != current_slot:
+                return Selection(slot=cand, source="l2")
+        return Selection(slot=current_slot, source="hold")

@@ -1,0 +1,26 @@
+"""Processor substrate: P-states, DVFS actuation, power and execution.
+
+* :mod:`repro.cpu.pstate` — frequency/voltage operating points,
+  including the AMD Athlon64 4000+ ladder the paper's cluster exposes
+  (2.4 / 2.2 / 2.0 / 1.8 / 1.0 GHz).
+* :mod:`repro.cpu.dvfs` — the in-band actuator: switches P-states with
+  transition latency and counts changes (Table 1's "# freq changes").
+* :mod:`repro.cpu.power` — dynamic + leakage power model.
+* :mod:`repro.cpu.core` — execution model: retires workload cycles at
+  the current frequency and reports utilization.
+"""
+
+from .core import CpuCore
+from .dvfs import Dvfs
+from .power import CpuPowerModel, PowerParams
+from .pstate import ATHLON64_4000, PState, PStateTable
+
+__all__ = [
+    "PState",
+    "PStateTable",
+    "ATHLON64_4000",
+    "Dvfs",
+    "PowerParams",
+    "CpuPowerModel",
+    "CpuCore",
+]

@@ -1,0 +1,158 @@
+"""The in-band actuator: dynamic voltage and frequency scaling.
+
+:class:`Dvfs` owns the processor's current P-state and is the *only*
+way governors change it.  It models the two properties the paper's
+evaluation leans on:
+
+* **Transition cost** — a P-state switch stalls the pipeline for a
+  short latency (voltage ramp + PLL relock, ~100 µs on K8).  During the
+  stall no work retires, so pathological governors that flap between
+  states (CPUSPEED in Table 1 flaps 101–139 times) pay a real, if
+  small, performance tax.
+* **Change accounting** — every transition is counted and logged;
+  Table 1's "# freq changes" column and the trigger-time analysis of
+  Figure 10 come straight from this log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ActuatorError
+from ..sim.events import EventLog
+from ..units import require_non_negative
+from .pstate import PState, PStateTable
+
+__all__ = ["Dvfs"]
+
+
+class Dvfs:
+    """P-state switch with latency modelling and change accounting.
+
+    Parameters
+    ----------
+    table:
+        The processor's P-state ladder (fastest first).
+    transition_latency:
+        Pipeline stall per switch, seconds.
+    events:
+        Optional event log; transitions are emitted as
+        ``dvfs.change`` events.
+    name:
+        Source name used in emitted events.
+    """
+
+    def __init__(
+        self,
+        table: PStateTable,
+        transition_latency: float = 1.0e-4,
+        events: Optional[EventLog] = None,
+        name: str = "dvfs",
+    ) -> None:
+        self.table = table
+        self.transition_latency = require_non_negative(
+            transition_latency, "transition_latency"
+        )
+        self._events = events
+        self.name = name
+        self._index = 0
+        self._change_count = 0
+        self._stall_remaining = 0.0
+        self._now = 0.0
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        """Current P-state index (0 = fastest)."""
+        return self._index
+
+    @property
+    def pstate(self) -> PState:
+        """Current operating point."""
+        return self.table[self._index]
+
+    @property
+    def frequency(self) -> float:
+        """Current core clock in Hz."""
+        return self.pstate.frequency
+
+    @property
+    def change_count(self) -> int:
+        """Total number of P-state transitions so far."""
+        return self._change_count
+
+    @property
+    def stalled_fraction_pending(self) -> float:
+        """Seconds of pipeline stall not yet consumed by :meth:`consume_stall`."""
+        return self._stall_remaining
+
+    # -- actuation ------------------------------------------------------------
+
+    def set_index(self, index: int, t: Optional[float] = None) -> bool:
+        """Switch to P-state ``index``; returns True if a change occurred.
+
+        Raises
+        ------
+        ActuatorError
+            If ``index`` is outside the ladder.
+        """
+        if not 0 <= index < len(self.table):
+            raise ActuatorError(
+                f"P-state index {index} out of range [0, {len(self.table) - 1}]"
+            )
+        if index == self._index:
+            return False
+        old = self.pstate
+        self._index = index
+        self._change_count += 1
+        self._stall_remaining += self.transition_latency
+        when = self._now if t is None else t
+        if self._events is not None:
+            self._events.emit(
+                when,
+                "dvfs.change",
+                self.name,
+                old_ghz=old.frequency_ghz,
+                new_ghz=self.pstate.frequency_ghz,
+                old_index=self.table.index_of_frequency(old.frequency),
+                new_index=index,
+            )
+        return True
+
+    def set_frequency(self, frequency: float, t: Optional[float] = None) -> bool:
+        """Switch to the P-state with the given frequency (Hz)."""
+        return self.set_index(self.table.index_of_frequency(frequency), t)
+
+    def step_down(self, t: Optional[float] = None) -> bool:
+        """Move one P-state slower, if possible; returns True on change."""
+        if self._index + 1 < len(self.table):
+            return self.set_index(self._index + 1, t)
+        return False
+
+    def step_up(self, t: Optional[float] = None) -> bool:
+        """Move one P-state faster, if possible; returns True on change."""
+        if self._index > 0:
+            return self.set_index(self._index - 1, t)
+        return False
+
+    # -- time ------------------------------------------------------------
+
+    def note_time(self, t: float) -> None:
+        """Inform the actuator of the current simulation time.
+
+        Lets governors call :meth:`set_index` without threading time
+        through every call site.
+        """
+        self._now = t
+
+    def consume_stall(self, dt: float) -> float:
+        """Consume up to ``dt`` seconds of pending transition stall.
+
+        Returns the stall time actually consumed within this interval;
+        the CPU core subtracts it from the time available for retiring
+        work.
+        """
+        consumed = min(self._stall_remaining, dt)
+        self._stall_remaining -= consumed
+        return consumed

@@ -1,0 +1,76 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every module exposes a ``run(seed=..., quick=...)`` returning a typed
+result object and a ``render(result)`` producing the paper-style text
+output.  The ``quick`` flag shortens workloads for test suites; the
+benchmark harnesses run the full-length configurations.
+
+=====================================  =========================================
+module                                 reproduces
+=====================================  =========================================
+:mod:`~repro.experiments.fig02_thermal_types`    Figure 2 — thermal behaviour taxonomy
+:mod:`~repro.experiments.fig05_fan_pp`           Figure 5 — dynamic fan, P_p sweep
+:mod:`~repro.experiments.fig06_fan_comparison`   Figure 6 — dynamic vs traditional vs constant
+:mod:`~repro.experiments.fig07_max_pwm`          Figure 7 — maximum-PWM sweep
+:mod:`~repro.experiments.fig08_tdvfs_static_fan` Figure 8 — tDVFS + traditional fan (LU)
+:mod:`~repro.experiments.fig09_tdvfs_vs_cpuspeed` Figure 9 — tDVFS vs CPUSPEED
+:mod:`~repro.experiments.table1_tdvfs_cpuspeed`  Table 1 — the full 6-run comparison
+:mod:`~repro.experiments.fig10_hybrid`           Figure 10 — hybrid control, P_p sweep
+:mod:`~repro.experiments.scaling`                §5 future work — cluster scaling
+:mod:`~repro.experiments.ablation`               §3.2 design-decision ablations
+:mod:`~repro.experiments.emergency`              fan failure vs hardware protection
+:mod:`~repro.experiments.workload_suite`         contribution 4 — workload signatures
+:mod:`~repro.experiments.robustness`             Table-1 claims across seeds
+=====================================  =========================================
+"""
+
+from . import (
+    ablation,
+    emergency,
+    fig02_thermal_types,
+    fig05_fan_pp,
+    fig06_fan_comparison,
+    fig07_max_pwm,
+    fig08_tdvfs_static_fan,
+    fig09_tdvfs_vs_cpuspeed,
+    fig10_hybrid,
+    platform,
+    scaling,
+    robustness,
+    table1_tdvfs_cpuspeed,
+    workload_suite,
+)
+
+__all__ = [
+    "platform",
+    "fig02_thermal_types",
+    "fig05_fan_pp",
+    "fig06_fan_comparison",
+    "fig07_max_pwm",
+    "fig08_tdvfs_static_fan",
+    "fig09_tdvfs_vs_cpuspeed",
+    "table1_tdvfs_cpuspeed",
+    "fig10_hybrid",
+    "scaling",
+    "ablation",
+    "emergency",
+    "workload_suite",
+    "robustness",
+]
+
+#: Registry used by the CLI: name → (module, description).
+REGISTRY = {
+    "fig2": (fig02_thermal_types, "thermal behaviour taxonomy (Figure 2)"),
+    "fig5": (fig05_fan_pp, "dynamic fan control, P_p sweep (Figure 5)"),
+    "fig6": (fig06_fan_comparison, "fan policy comparison (Figure 6)"),
+    "fig7": (fig07_max_pwm, "maximum-PWM sweep (Figure 7)"),
+    "fig8": (fig08_tdvfs_static_fan, "tDVFS with traditional fan (Figure 8)"),
+    "fig9": (fig09_tdvfs_vs_cpuspeed, "tDVFS vs CPUSPEED (Figure 9)"),
+    "table1": (table1_tdvfs_cpuspeed, "CPUSPEED vs tDVFS sweep (Table 1)"),
+    "fig10": (fig10_hybrid, "hybrid fan+DVFS control (Figure 10)"),
+    "scaling": (scaling, "cluster-size scaling (future work)"),
+    "ablation": (ablation, "window/design ablations"),
+    "emergency": (emergency, "fan-failure / thermal-emergency avoidance"),
+    "suite": (workload_suite, "thermal signatures across the NPB suite"),
+    "robustness": (robustness, "Table 1 claims across independent seeds"),
+}

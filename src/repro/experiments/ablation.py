@@ -1,0 +1,393 @@
+"""Ablations of the paper's §3.2 design decisions.
+
+The paper asserts (without showing data) that:
+
+* a level-one window that is **too small reacts to jitter** as if it
+  were sudden, while one **too large responds sluggishly** to genuine
+  sudden changes — 4 entries was found sufficient (§3.2.1);
+* the level-two FIFO is what tracks **gradual** drift, consulted only
+  when level one is silent (§3.2.2).
+
+This module measures those claims on the simulated platform:
+
+* :func:`window_size_sweep` — for L1 sizes {2, 4, 8, 16}: the fan's
+  response delay to a Type-I step and its spurious movement under a
+  Type-III jitter load.
+* :func:`l2_fallback_ablation` — dynamic fan with and without the
+  level-two fallback under a Type-II slow ramp: without it the fan
+  never tracks the drift and the plant runs hotter.
+* :func:`escalation_ablation` — tDVFS's depth-escalated trigger
+  threshold (the mechanism behind Figure 9's plateau) on vs off: with
+  a fixed threshold the daemon chases the plant down the frequency
+  ladder, trading much more performance for little extra cooling.
+* :func:`split_policy_ablation` — the paper insists on ONE ``P_p``
+  shared by both techniques ("we fill out the arrays in a unified
+  way").  What if the fan and DVFS each got their own?  Splitting the
+  knob fan-lazy/DVFS-aggressive hands the work to the expensive
+  in-band technique (earlier, deeper triggers, longer runtime) for no
+  thermal benefit — the measured argument for the single-knob design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..governors.tdvfs import TDvfsParams
+from ..workloads.npb import bt_b_4
+from ..workloads.synthetic import gradual_profile, jitter_profile, sudden_profile
+from .platform import (
+    DEFAULT_SEED,
+    attach_dynamic_fan,
+    attach_tdvfs,
+    standard_cluster,
+)
+
+__all__ = [
+    "WindowSizeRow",
+    "L2FallbackRow",
+    "CooldownRow",
+    "AblationResult",
+    "window_size_sweep",
+    "l2_fallback_ablation",
+    "cooldown_sweep",
+    "run",
+    "render",
+]
+
+
+@dataclass
+class WindowSizeRow:
+    """One L1 window size's outcome.
+
+    Attributes
+    ----------
+    l1_size:
+        Window entries.
+    sudden_delay:
+        Seconds from the Type-I step until the fan moved 5+ duty steps
+        above its pre-step level (inf if it never did).
+    jitter_movement:
+        Mean |duty| movement per second under the Type-III load —
+        spurious actuation chasing noise.
+    """
+
+    l1_size: int
+    sudden_delay: float
+    jitter_movement: float
+
+
+@dataclass
+class L2FallbackRow:
+    """Gradual-drift tracking with/without the level-two fallback."""
+
+    l2_enabled: bool
+    final_temp: float
+    final_duty: float
+
+
+@dataclass
+class EscalationRow:
+    """tDVFS behaviour with/without threshold escalation.
+
+    Attributes
+    ----------
+    escalate:
+        Whether the depth-escalated threshold was active.
+    freq_changes:
+        DVFS transitions on node 0.
+    min_ghz:
+        Deepest frequency reached.
+    execution_time:
+        Job wall time, s.
+    end_temp:
+        Final-15 s mean temperature, °C.
+    """
+
+    escalate: bool
+    freq_changes: int
+    min_ghz: float
+    execution_time: float
+    end_temp: float
+
+
+@dataclass
+class SplitPolicyRow:
+    """One (fan P_p, DVFS P_p) assignment on the hybrid scenario.
+
+    Attributes
+    ----------
+    fan_pp / dvfs_pp:
+        The two knobs (equal = the paper's shared-policy design).
+    execution_time:
+        Job wall time, s.
+    mean_temp:
+        Node-0 mean temperature, °C.
+    first_trigger:
+        Earliest tDVFS trigger across nodes, s (None = never).
+    min_ghz:
+        Deepest frequency any node reached.
+    """
+
+    fan_pp: int
+    dvfs_pp: int
+    execution_time: float
+    mean_temp: float
+    first_trigger: Optional[float]
+    min_ghz: float
+
+
+@dataclass
+class AblationResult:
+    """All four studies."""
+
+    window_rows: List[WindowSizeRow]
+    l2_rows: List[L2FallbackRow]
+    escalation_rows: List[EscalationRow]
+    split_rows: List[SplitPolicyRow]
+
+
+def _first_rise_delay(
+    duty_times: np.ndarray,
+    duty_values: np.ndarray,
+    step_time: float,
+    rise: float = 0.05,
+) -> float:
+    """Seconds after ``step_time`` until duty exceeds its pre-step level
+    by ``rise``; inf if never."""
+    before = duty_values[duty_times < step_time]
+    base = float(before[-1]) if before.size else float(duty_values[0])
+    after_mask = duty_times >= step_time
+    t_after = duty_times[after_mask]
+    v_after = duty_values[after_mask]
+    risen = np.where(v_after >= base + rise)[0]
+    if risen.size == 0:
+        return float("inf")
+    return float(t_after[int(risen[0])] - step_time)
+
+
+def window_size_sweep(
+    seed: int = DEFAULT_SEED,
+    sizes: Optional[List[int]] = None,
+    quick: bool = False,
+) -> List[WindowSizeRow]:
+    """Measure sudden-response delay and jitter chasing per L1 size."""
+    if sizes is None:
+        sizes = [2, 4, 8, 16]
+    duration = 90.0 if quick else 180.0
+    step_time = duration / 3
+    rows: List[WindowSizeRow] = []
+    for l1 in sizes:
+        # Type I: response delay to a sustained step.
+        cluster = standard_cluster(n_nodes=1, seed=seed)
+        attach_dynamic_fan(cluster, pp=50, l1_size=l1)
+        job = sudden_profile(step_time=step_time, duration=duration).build()
+        result = cluster.run_job(job, timeout=duration * 6)
+        duty = result.traces["node0.duty"]
+        delay = _first_rise_delay(
+            np.asarray(duty.times), np.asarray(duty.values), step_time
+        )
+
+        # Type III: spurious movement under pure jitter.
+        cluster = standard_cluster(n_nodes=1, seed=seed)
+        attach_dynamic_fan(cluster, pp=50, l1_size=l1)
+        job = jitter_profile(
+            duration=duration, rng=cluster.rngs.stream("jitter")
+        ).build()
+        result = cluster.run_job(job, timeout=duration * 6)
+        duty = result.traces["node0.duty"]
+        v = np.asarray(duty.values)
+        t = np.asarray(duty.times)
+        # discard the warm-up third, where responding is correct
+        settle = t >= duration / 3
+        movement = float(np.sum(np.abs(np.diff(v[settle])))) / max(
+            1e-9, float(t[-1] - duration / 3)
+        )
+        rows.append(
+            WindowSizeRow(l1_size=l1, sudden_delay=delay, jitter_movement=movement)
+        )
+    return rows
+
+
+def l2_fallback_ablation(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> List[L2FallbackRow]:
+    """Gradual-drift tracking with and without the level-two fallback."""
+    duration = 150.0 if quick else 300.0
+    rows: List[L2FallbackRow] = []
+    for enabled in (True, False):
+        cluster = standard_cluster(n_nodes=1, seed=seed)
+        attach_dynamic_fan(cluster, pp=50, l2_when_l1_silent=enabled)
+        job = gradual_profile(duration=duration).build()
+        result = cluster.run_job(job, timeout=duration * 6)
+        temp = result.traces["node0.temp"]
+        duty = result.traces["node0.duty"]
+        t_end = result.execution_time
+        rows.append(
+            L2FallbackRow(
+                l2_enabled=enabled,
+                final_temp=temp.window(t_end - 20.0, t_end).mean(),
+                final_duty=duty.window(t_end - 20.0, t_end).mean(),
+            )
+        )
+    return rows
+
+
+def escalation_ablation(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> List[EscalationRow]:
+    """tDVFS with/without the depth-escalated threshold (BT, 25 % fan)."""
+    iterations = 70 if quick else 200
+    rows: List[EscalationRow] = []
+    for escalate in (True, False):
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        attach_dynamic_fan(cluster, pp=50, max_duty=0.25)
+        attach_tdvfs(
+            cluster, pp=50, params=TDvfsParams(escalate_threshold=escalate)
+        )
+        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
+        result = cluster.run_job(job, timeout=3600)
+        temp = result.traces["node0.temp"]
+        t_end = result.execution_time
+        freq = result.traces["node0.freq_ghz"]
+        rows.append(
+            EscalationRow(
+                escalate=escalate,
+                freq_changes=result.dvfs_change_count(0),
+                min_ghz=freq.min(),
+                execution_time=result.execution_time,
+                end_temp=temp.window(t_end - 15.0, t_end).mean(),
+            )
+        )
+    return rows
+
+
+def split_policy_ablation(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> List[SplitPolicyRow]:
+    """Shared vs independent P_p for the fan and DVFS halves.
+
+    The paper's hybrid (§4.4) applies one P_p to both techniques; this
+    study deliberately splits the knob (which our
+    :class:`~repro.governors.hybrid.HybridControl` refuses — the halves
+    are attached as separate governors here).
+    """
+    from ..core.policy import Policy
+    from ..governors.fan_dynamic import DynamicFanControl
+    from ..governors.tdvfs import TDvfs
+
+    iterations = 70 if quick else 200
+    rows: List[SplitPolicyRow] = []
+    for fan_pp, dvfs_pp in ((50, 50), (25, 75), (75, 25)):
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        for node in cluster.nodes:
+            cluster.add_governor(
+                node,
+                DynamicFanControl(
+                    node.make_fan_driver(max_duty=0.50),
+                    Policy(pp=fan_pp),
+                    events=cluster.events,
+                    name=f"{node.name}.fan-dynamic",
+                ),
+            )
+            cluster.add_governor(
+                node,
+                TDvfs(
+                    node.dvfs,
+                    Policy(pp=dvfs_pp),
+                    events=cluster.events,
+                    name=f"{node.name}.tdvfs",
+                ),
+            )
+        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
+        result = cluster.run_job(job, timeout=3600)
+        triggers = result.events.filter(category="tdvfs.trigger")
+        rows.append(
+            SplitPolicyRow(
+                fan_pp=fan_pp,
+                dvfs_pp=dvfs_pp,
+                execution_time=result.execution_time,
+                mean_temp=result.traces["node0.temp"].mean(),
+                first_trigger=triggers[0].time if triggers else None,
+                min_ghz=min(
+                    (e.data["new_ghz"] for e in triggers), default=2.4
+                ),
+            )
+        )
+    return rows
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> AblationResult:
+    """Run all four ablation studies."""
+    return AblationResult(
+        window_rows=window_size_sweep(seed=seed, quick=quick),
+        l2_rows=l2_fallback_ablation(seed=seed, quick=quick),
+        escalation_rows=escalation_ablation(seed=seed, quick=quick),
+        split_rows=split_policy_ablation(seed=seed, quick=quick),
+    )
+
+
+def render(result: AblationResult) -> str:
+    """Text output for all ablations."""
+    w = Table(
+        headers=["L1 size", "sudden delay (s)", "jitter movement (duty/s)"],
+        formats=["d", ".2f", ".4f"],
+        title="Ablation A: level-one window size (paper picks 4)",
+    )
+    for row in result.window_rows:
+        w.add_row(row.l1_size, row.sudden_delay, row.jitter_movement)
+
+    l2 = Table(
+        headers=["L2 fallback", "final T (degC)", "final duty (%)"],
+        formats=[None, ".1f", ".1f"],
+        title="Ablation B: level-two fallback under a Type-II slow ramp",
+    )
+    for row in result.l2_rows:
+        l2.add_row("on" if row.l2_enabled else "off", row.final_temp, row.final_duty * 100)
+
+    c = Table(
+        headers=[
+            "escalated threshold",
+            "# freq changes",
+            "deepest (GHz)",
+            "exec time (s)",
+            "end T (degC)",
+        ],
+        formats=[None, "d", ".1f", ".1f", ".1f"],
+        title="Ablation C: tDVFS depth-escalated trigger threshold",
+    )
+    for row in result.escalation_rows:
+        c.add_row(
+            "on" if row.escalate else "off",
+            row.freq_changes,
+            row.min_ghz,
+            row.execution_time,
+            row.end_temp,
+        )
+
+    d = Table(
+        headers=[
+            "fan P_p",
+            "DVFS P_p",
+            "exec time (s)",
+            "mean T (degC)",
+            "first trigger (s)",
+            "deepest (GHz)",
+        ],
+        formats=["d", "d", ".1f", ".1f", None, ".1f"],
+        title="Ablation D: shared vs independent P_p (paper: one knob)",
+    )
+    for row in result.split_rows:
+        d.add_row(
+            row.fan_pp,
+            row.dvfs_pp,
+            row.execution_time,
+            row.mean_temp,
+            "never" if row.first_trigger is None else f"{row.first_trigger:.0f}",
+            row.min_ghz,
+        )
+
+    return "\n\n".join([w.render(), l2.render(), c.render(), d.render()])

@@ -1,0 +1,213 @@
+"""Thermal-emergency avoidance under fan failure (extension).
+
+The paper's introduction motivates unified control with reliability:
+*"high temperatures can trigger thermal emergencies in a server that
+will slow or shut down the system"*, and its related work repeatedly
+cites fan failure as the triggering event (Choi et al., Heath et al.).
+The evaluation never injects one — this experiment does.
+
+Protocol: a 4-node cluster runs a long BT-class job; at ``fail_time``
+node 0's fan seizes (the rotor coasts to a stop; PWM commands are
+ignored).  Hardware protection is realistic: PROCHOT forces the slowest
+P-state at 85 °C and THERMTRIP powers the node off at 97 °C.  Three
+control strategies face the event:
+
+* **stock** — the hardware's static fan curve only (no OS thermal
+  daemon).  The only thing between the node and THERMTRIP is PROCHOT.
+* **ondemand** — the kernel's utilization governor: smarter frequency
+  selection than CPUSPEED but *no temperature input at all*, so it
+  keeps the dead-fan node at full speed and rides into the hardware
+  clamp just like stock.
+* **cpuspeed** — the utilization daemon with its crude temperature
+  limit, on top of the stock curve.
+* **unified** — the paper's hybrid: dynamic fan + tDVFS under one
+  policy.  tDVFS walks deliberately down the frequency ladder as the
+  dead-fan plant heats, staying ahead of the hardware clamp.
+
+Metrics: PROCHOT assertions, THERMTRIP (availability loss), peak
+temperature, and gigacycles retired on the failed node — how much
+*work* each strategy salvaged over the fixed horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.tables import Table
+from ..analysis.thermal_stats import degree_seconds_above
+from ..core.policy import Policy
+from ..governors.cpuspeed import CpuSpeed
+from ..governors.fan_traditional import TraditionalFanControl
+from ..governors.hybrid import hybrid_governors
+from ..governors.ondemand import Ondemand
+from ..workloads.npb import NpbJob, NpbParams
+from .platform import DEFAULT_SEED, standard_cluster
+
+__all__ = ["EmergencyRow", "EmergencyResult", "run", "render"]
+
+STRATEGIES = ("stock", "ondemand", "cpuspeed", "unified")
+
+#: Temperature above which exposure is counted as thermal stress.
+STRESS_THRESHOLD = 70.0
+
+
+@dataclass
+class EmergencyRow:
+    """One strategy's outcome on the fan-failure scenario (node 0).
+
+    Attributes
+    ----------
+    strategy:
+        ``"stock"`` / ``"cpuspeed"`` / ``"unified"``.
+    prochot_count:
+        Hardware thermal-throttle assertions.
+    thermtrip:
+        Whether the node powered off.
+    max_temp:
+        Peak die temperature, °C.
+    retired_gcycles:
+        Work retired on node 0 over the horizon, 1e9 cycles.
+    tdvfs_triggers:
+        Deliberate in-band scale-downs (unified only).
+    final_ghz:
+        Frequency at the end of the horizon.
+    stress_ks:
+        Degree-seconds above the 70 °C stress threshold, K·s — the
+        reliability-exposure integral.
+    """
+
+    strategy: str
+    prochot_count: int
+    thermtrip: bool
+    max_temp: float
+    retired_gcycles: float
+    tdvfs_triggers: int
+    final_ghz: float
+    stress_ks: float
+
+
+@dataclass
+class EmergencyResult:
+    """All strategies on the identical failure scenario."""
+
+    rows: List[EmergencyRow]
+    fail_time: float
+    horizon: float
+
+    def row(self, strategy: str) -> EmergencyRow:
+        """The row for a given strategy."""
+        for r in self.rows:
+            if r.strategy == strategy:
+                return r
+        raise KeyError(f"no row for strategy {strategy!r}")
+
+
+def _long_job(cluster, horizon: float):
+    """A BT-class job guaranteed to outlast the horizon."""
+    iterations = int(horizon / 1.0) + 100
+    params = NpbParams(
+        name="BT-long",
+        n_ranks=4,
+        iterations=iterations,
+        compute_seconds=0.83,
+        comm_seconds=0.22,
+    )
+    return NpbJob(params, rng=cluster.rngs.stream("wl")).build()
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    fail_time: float = 40.0,
+) -> EmergencyResult:
+    """Run the fan-failure scenario under all three strategies."""
+    horizon = 180.0 if quick else 420.0
+    rows: List[EmergencyRow] = []
+    for strategy in STRATEGIES:
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        for node in cluster.nodes:
+            if strategy == "stock":
+                cluster.add_governor(
+                    node, TraditionalFanControl(node.make_fan_driver())
+                )
+            elif strategy == "ondemand":
+                cluster.add_governor(
+                    node, TraditionalFanControl(node.make_fan_driver())
+                )
+                cluster.add_governor(
+                    node, Ondemand(node.core, events=cluster.events)
+                )
+            elif strategy == "cpuspeed":
+                cluster.add_governor(
+                    node, TraditionalFanControl(node.make_fan_driver())
+                )
+                cluster.add_governor(
+                    node, CpuSpeed(node.core, events=cluster.events)
+                )
+            else:
+                cluster.add_governor(
+                    node,
+                    hybrid_governors(
+                        node, Policy(pp=50), max_duty=1.0, events=cluster.events
+                    ),
+                )
+        cluster.bind_job(_long_job(cluster, horizon))
+        victim = cluster.nodes[0]
+        cluster.run_for(fail_time)
+        victim.fail_fan(t=cluster.engine.clock.now)
+        cluster.run_for(horizon - fail_time)
+
+        temp = cluster.traces["node0.temp"]
+        freq = cluster.traces["node0.freq_ghz"]
+        rows.append(
+            EmergencyRow(
+                strategy=strategy,
+                prochot_count=cluster.events.count(
+                    "hw.prochot.assert", source="node0"
+                ),
+                thermtrip=victim.is_shutdown,
+                max_temp=temp.max(),
+                retired_gcycles=victim.core.retired_cycles / 1e9,
+                tdvfs_triggers=cluster.events.count(
+                    "tdvfs.trigger", source="node0"
+                ),
+                final_ghz=float(freq.values[-1]),
+                stress_ks=degree_seconds_above(temp, STRESS_THRESHOLD)
+                / 1000.0,
+            )
+        )
+    return EmergencyResult(rows=rows, fail_time=fail_time, horizon=horizon)
+
+
+def render(result: EmergencyResult) -> str:
+    """Text output for the emergency experiment."""
+    table = Table(
+        headers=[
+            "strategy",
+            "PROCHOT asserts",
+            "THERMTRIP",
+            "max T (degC)",
+            f"stress >={STRESS_THRESHOLD:.0f}C (kK*s)",
+            "retired Gcycles",
+            "tDVFS triggers",
+            "final freq (GHz)",
+        ],
+        formats=[None, "d", None, ".1f", ".2f", ".1f", "d", ".1f"],
+        title=(
+            "Thermal-emergency avoidance: node0 fan fails at "
+            f"t={result.fail_time:.0f}s (horizon {result.horizon:.0f}s)"
+        ),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.strategy,
+            row.prochot_count,
+            "YES" if row.thermtrip else "no",
+            row.max_temp,
+            row.stress_ks,
+            row.retired_gcycles,
+            row.tdvfs_triggers,
+            row.final_ghz,
+        )
+    return table.render()

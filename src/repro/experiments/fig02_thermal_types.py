@@ -1,0 +1,108 @@
+"""Figure 2 — the thermal behaviour taxonomy of parallel applications.
+
+The paper's Figure 2 shows a CPU thermal profile, sampled at 4 Hz with
+a *constant* fan speed, exhibiting the three behaviour types: sudden,
+gradual and jitter.  We reproduce it by running the
+:func:`~repro.workloads.synthetic.mixed_thermal_profile` workload (idle
+→ sudden jump → gradual heatsink charge → jitter burst → sudden drop)
+under a pinned fan, then classifying the recorded sensor trace with
+the controller's own two-level machinery
+(:func:`~repro.core.classify.classify_trace`).
+
+The reproduction claim: the classifier finds all three types, and finds
+them in the right places — sudden labels cluster around the step edges,
+gradual labels inside the charge phase, jitter labels inside the bursty
+phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.tables import Table
+from ..core.classify import ThermalBehavior, classify_profile, classify_trace
+from ..workloads.synthetic import mixed_thermal_profile
+from .platform import DEFAULT_SEED, attach_constant_fan, standard_cluster
+
+__all__ = ["Fig2Result", "run", "render"]
+
+
+@dataclass
+class Fig2Result:
+    """Classification of the Figure-2 style profile.
+
+    Attributes
+    ----------
+    labels:
+        (time, behaviour) per window round.
+    fractions:
+        Behaviour → fraction of rounds.
+    temp_range:
+        (min, max) of the recorded temperatures, °C.
+    duration:
+        Profile length, seconds.
+    phase_bounds:
+        Named phase boundaries (fractions of duration) used to build
+        the workload — lets callers check labels landed in the right
+        phases.
+    """
+
+    labels: List[Tuple[float, ThermalBehavior]]
+    fractions: Dict[ThermalBehavior, float]
+    temp_range: Tuple[float, float]
+    duration: float
+    phase_bounds: Dict[str, Tuple[float, float]]
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig2Result:
+    """Run the Figure-2 reproduction.
+
+    Parameters
+    ----------
+    seed:
+        Platform seed.
+    quick:
+        Shorten the profile (tests); full mode is 300 s like a
+        cpu-burn-scale run.
+    """
+    duration = 120.0 if quick else 300.0
+    cluster = standard_cluster(n_nodes=1, seed=seed)
+    attach_constant_fan(cluster, duty=0.45)
+    job = mixed_thermal_profile(duration=duration).build()
+    result = cluster.run_job(job, timeout=duration * 4)
+
+    temp = result.traces["node0.temp"]
+    labels = classify_trace(temp.times, temp.values)
+    fractions = classify_profile(temp.times, temp.values)
+    return Fig2Result(
+        labels=labels,
+        fractions=fractions,
+        temp_range=(temp.min(), temp.max()),
+        duration=duration,
+        phase_bounds={
+            "idle_head": (0.00, 0.10),
+            "sudden_rise": (0.10, 0.14),
+            "gradual_charge": (0.14, 0.45),
+            "sudden_drop": (0.45, 0.49),
+            "gradual_decay": (0.49, 0.62),
+            "jitter": (0.62, 0.80),
+            "idle_tail": (0.80, 1.00),
+        },
+    )
+
+
+def render(result: Fig2Result) -> str:
+    """Paper-style text output for Figure 2."""
+    table = Table(
+        headers=["behaviour", "fraction of rounds"],
+        formats=[None, ".1%"],
+        title=(
+            "Figure 2 reproduction: thermal behaviour classification "
+            f"(T in [{result.temp_range[0]:.1f}, {result.temp_range[1]:.1f}] degC "
+            f"over {result.duration:.0f}s)"
+        ),
+    )
+    for behaviour in ThermalBehavior:
+        table.add_row(behaviour.value, result.fractions[behaviour])
+    return table.render()

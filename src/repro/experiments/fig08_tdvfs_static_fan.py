@@ -1,0 +1,130 @@
+"""Figure 8 — tDVFS coupled with the traditional (static) fan control.
+
+Protocol (paper §4.3): NPB LU on 4 nodes (one MPI rank per node);
+traditional fan control capped at 25 % PWM duty; tDVFS with the 51 °C
+trigger threshold and P_p = 50.
+
+Findings reproduced:
+
+1. tDVFS scales down (2.4 → 2.2 GHz) only once the *average*
+   temperature is consistently above the threshold — not on the first
+   sample to cross it.
+2. When the workload lightens and the average falls consistently below
+   the threshold, tDVFS restores the original 2.4 GHz.
+3. Short-term spikes (the paper's red-circled area) draw no response:
+   the total change count stays at two (one down, one up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.tables import Table
+from ..governors.tdvfs import TDvfsParams
+from ..workloads.npb import lu_a_4
+from .platform import (
+    DEFAULT_SEED,
+    attach_tdvfs,
+    attach_traditional_fan,
+    standard_cluster,
+)
+
+__all__ = ["Fig8Result", "run", "render"]
+
+MAX_DUTY = 0.25
+THRESHOLD = 51.0
+
+
+@dataclass
+class Fig8Result:
+    """Outcome of the LU + traditional-fan + tDVFS run (node 0).
+
+    Attributes
+    ----------
+    execution_time:
+        Job wall time, s.
+    freq_changes:
+        Total DVFS transitions on node 0.
+    trigger_time / restore_time:
+        When the down-scale / restore happened (None if absent).
+    trigger_ghz:
+        Frequency adopted at the trigger.
+    temp_at_trigger:
+        Sensor reading at the trigger time, °C.
+    max_temp / mean_temp:
+        Over the run, °C.
+    frequency_path:
+        Ordered (time, GHz) DVFS trajectory of node 0.
+    """
+
+    execution_time: float
+    freq_changes: int
+    trigger_time: Optional[float]
+    restore_time: Optional[float]
+    trigger_ghz: Optional[float]
+    temp_at_trigger: Optional[float]
+    max_temp: float
+    mean_temp: float
+    frequency_path: List[Tuple[float, float]]
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig8Result:
+    """Run the Figure-8 reproduction."""
+    iterations = 90 if quick else 250
+    cluster = standard_cluster(n_nodes=4, seed=seed)
+    attach_traditional_fan(cluster, max_duty=MAX_DUTY)
+    attach_tdvfs(cluster, pp=50, params=TDvfsParams(threshold=THRESHOLD))
+    job = lu_a_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
+    result = cluster.run_job(job, timeout=3600)
+
+    temp = result.traces["node0.temp"]
+    triggers = result.events.filter(category="tdvfs.trigger", source="node0")
+    restores = result.events.filter(category="tdvfs.restore", source="node0")
+    changes = result.events.filter(category="dvfs.change", source="node0")
+
+    trigger_time = triggers[0].time if triggers else None
+    temp_at_trigger = None
+    if trigger_time is not None:
+        around = temp.window(trigger_time - 2.0, trigger_time + 2.0)
+        temp_at_trigger = around.mean() if len(around) else None
+
+    return Fig8Result(
+        execution_time=result.execution_time,
+        freq_changes=result.dvfs_change_count(0),
+        trigger_time=trigger_time,
+        restore_time=restores[0].time if restores else None,
+        trigger_ghz=triggers[0].data["new_ghz"] if triggers else None,
+        temp_at_trigger=temp_at_trigger,
+        max_temp=temp.max(),
+        mean_temp=temp.mean(),
+        frequency_path=[(e.time, e.data["new_ghz"]) for e in changes],
+    )
+
+
+def render(result: Fig8Result) -> str:
+    """Paper-style text output for Figure 8."""
+    table = Table(
+        headers=["quantity", "value"],
+        title=(
+            "Figure 8 reproduction: tDVFS + traditional fan (max duty "
+            f"{MAX_DUTY:.0%}, threshold {THRESHOLD:.0f} degC, LU.A.4)"
+        ),
+    )
+    table.add_row("execution time (s)", f"{result.execution_time:.1f}")
+    table.add_row("freq changes", str(result.freq_changes))
+    table.add_row(
+        "scale-down",
+        "none"
+        if result.trigger_time is None
+        else f"t={result.trigger_time:.0f}s -> {result.trigger_ghz:.1f} GHz "
+        f"(T~{result.temp_at_trigger:.1f} degC)",
+    )
+    table.add_row(
+        "restore",
+        "none"
+        if result.restore_time is None
+        else f"t={result.restore_time:.0f}s -> 2.4 GHz",
+    )
+    table.add_row("mean / max T (degC)", f"{result.mean_temp:.1f} / {result.max_temp:.1f}")
+    return table.render()

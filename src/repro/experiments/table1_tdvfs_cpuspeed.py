@@ -1,0 +1,136 @@
+"""Table 1 — CPUSPEED vs tDVFS across fan capability levels.
+
+Protocol (paper §4.3): NPB BT.B.4; dynamic fan control with P_p = 50;
+maximum PWM duty ∈ {75, 50, 25} %; the processor governed by CPUSPEED
+or by tDVFS.  Reported per configuration, exactly as the paper's
+Table 1: number of frequency changes, execution time, average wall
+power, and the power-delay product.
+
+Findings reproduced (see EXPERIMENTS.md for paper-vs-measured):
+
+1. tDVFS cuts the number of frequency changes by ~two orders of
+   magnitude (paper: 101–139 → 2–3).
+2. At a strong fan (75 %) both daemons deliver the same performance;
+   as the fan weakens, tDVFS trades a few percent of execution time
+   for substantially lower power.
+3. On the combined power-delay metric tDVFS beats CPUSPEED at *every*
+   fan capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.tables import Table
+from ..workloads.npb import bt_b_4
+from .platform import (
+    DEFAULT_SEED,
+    attach_cpuspeed,
+    attach_dynamic_fan,
+    attach_tdvfs,
+    standard_cluster,
+)
+
+__all__ = ["Table1Cell", "Table1Result", "run", "render"]
+
+CAPS = (0.75, 0.50, 0.25)
+DAEMONS = ("cpuspeed", "tdvfs")
+
+
+@dataclass
+class Table1Cell:
+    """One (daemon, cap) configuration's Table-1 row.
+
+    Attributes mirror the paper's columns.
+    """
+
+    daemon: str
+    max_duty: float
+    freq_changes: int
+    execution_time: float
+    avg_power: float
+    power_delay_product: float
+    mean_temp: float
+
+
+@dataclass
+class Table1Result:
+    """All six configurations."""
+
+    cells: List[Table1Cell]
+
+    def cell(self, daemon: str, max_duty: float) -> Table1Cell:
+        """Look up one configuration."""
+        for c in self.cells:
+            if c.daemon == daemon and abs(c.max_duty - max_duty) < 1e-9:
+                return c
+        raise KeyError(f"no cell for ({daemon}, {max_duty})")
+
+    def pdp_winner(self, max_duty: float) -> str:
+        """Which daemon has the lower power-delay product at this cap."""
+        cells = {
+            d: self.cell(d, max_duty).power_delay_product for d in DAEMONS
+        }
+        return min(cells, key=cells.get)
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Table1Result:
+    """Run all six Table-1 configurations."""
+    iterations = 70 if quick else 200
+    cells: List[Table1Cell] = []
+    for cap in CAPS:
+        for daemon in DAEMONS:
+            cluster = standard_cluster(n_nodes=4, seed=seed)
+            attach_dynamic_fan(cluster, pp=50, max_duty=cap)
+            if daemon == "cpuspeed":
+                attach_cpuspeed(cluster)
+            else:
+                attach_tdvfs(cluster, pp=50)
+            job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
+            result = cluster.run_job(job, timeout=3600)
+            cells.append(
+                Table1Cell(
+                    daemon=daemon,
+                    max_duty=cap,
+                    freq_changes=result.dvfs_change_count(0),
+                    execution_time=result.execution_time,
+                    avg_power=result.average_power[0],
+                    power_delay_product=result.power_delay_product(0),
+                    mean_temp=result.traces["node0.temp"].mean(),
+                )
+            )
+    return Table1Result(cells=cells)
+
+
+def render(result: Table1Result) -> str:
+    """The paper-style Table 1."""
+    table = Table(
+        headers=[
+            "daemon",
+            "max PWM (%)",
+            "# freq changes",
+            "exec time (s)",
+            "avg power (W)",
+            "PDP (W*s)",
+            "mean T (degC)",
+        ],
+        formats=[None, ".0f", "d", ".1f", ".2f", ".0f", ".1f"],
+        title="Table 1 reproduction: BT.B.4 under CPUSPEED vs tDVFS",
+    )
+    for cap in CAPS:
+        for daemon in DAEMONS:
+            c = result.cell(daemon, cap)
+            table.add_row(
+                c.daemon,
+                c.max_duty * 100,
+                c.freq_changes,
+                c.execution_time,
+                c.avg_power,
+                c.power_delay_product,
+                c.mean_temp,
+            )
+    winners = ", ".join(
+        f"{int(cap * 100)}%: {result.pdp_winner(cap)}" for cap in CAPS
+    )
+    return table.render() + f"\nPDP winner by cap -> {winners}"

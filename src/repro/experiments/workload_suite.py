@@ -1,0 +1,166 @@
+"""Thermal signatures across the workload suite (paper contribution 4).
+
+The paper's fourth stated contribution: *"We demonstrate that the
+behavior of parallel applications provides significant opportunities
+for power and thermal reductions."*  This experiment makes that claim
+measurable across an NPB-like suite spanning the communication
+spectrum:
+
+* **EP** — embarrassingly parallel: pinned utilization, the hottest
+  plant, zero dips for interval governors, and nothing for a thermal
+  controller to save except via the fan.
+* **BT** — the paper's mid-point: ~20 % exchange time.
+* **MG** — short V-cycles, mid communication.
+* **CG** — communication-bound: the coolest plant and the biggest gap
+  between what utilization governors *think* is happening and what the
+  thermometer says.
+
+Each workload runs under the hybrid controller (P_p = 50, fan capped at
+50 %) and under CPUSPEED, reporting mean temperature, power, the energy
+saved by the unified controller, and both governors' change counts —
+the "opportunity" is exactly how much these numbers move with workload
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.tables import Table
+from ..workloads.npb import bt_b_4, cg_b_4, ep_b_4, mg_b_4
+from .platform import (
+    DEFAULT_SEED,
+    attach_cpuspeed,
+    attach_dynamic_fan,
+    attach_hybrid,
+    standard_cluster,
+)
+
+__all__ = ["SuiteRow", "SuiteResult", "run", "render"]
+
+MAX_DUTY = 0.50
+
+#: Workload builders and full/quick iteration counts.
+WORKLOADS = {
+    "EP.B.4": (ep_b_4, 28, 6),
+    "BT.B.4": (bt_b_4, 200, 50),
+    "MG.B.4": (mg_b_4, 420, 110),
+    "CG.B.4": (cg_b_4, 260, 70),
+}
+
+
+@dataclass
+class SuiteRow:
+    """One workload's signature under both control stacks.
+
+    Attributes
+    ----------
+    workload:
+        Benchmark tag.
+    mean_util:
+        Node-0 mean utilization (workload character).
+    hybrid_mean_temp / cpuspeed_mean_temp:
+        Mean temperature under each stack, °C.
+    hybrid_energy_kj / cpuspeed_energy_kj:
+        Node-0 energy under each stack, kJ.
+    hybrid_changes / cpuspeed_changes:
+        DVFS transition counts.
+    energy_saving:
+        Relative node-0 energy saved by the hybrid stack.
+    """
+
+    workload: str
+    mean_util: float
+    hybrid_mean_temp: float
+    cpuspeed_mean_temp: float
+    hybrid_energy_kj: float
+    cpuspeed_energy_kj: float
+    hybrid_changes: int
+    cpuspeed_changes: int
+
+    @property
+    def energy_saving(self) -> float:
+        return 1.0 - self.hybrid_energy_kj / self.cpuspeed_energy_kj
+
+
+@dataclass
+class SuiteResult:
+    """The whole suite, in communication order (EP → CG)."""
+
+    rows: List[SuiteRow]
+
+    def row(self, workload: str) -> SuiteRow:
+        """The row for a workload tag."""
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(f"no row for {workload!r}")
+
+
+def _run_stack(builder, iterations, seed, stack: str):
+    cluster = standard_cluster(n_nodes=4, seed=seed)
+    if stack == "hybrid":
+        attach_hybrid(cluster, pp=50, max_duty=MAX_DUTY)
+    else:
+        attach_dynamic_fan(cluster, pp=50, max_duty=MAX_DUTY)
+        attach_cpuspeed(cluster)
+    job = builder(rng=cluster.rngs.stream("wl"), iterations=iterations)
+    return cluster.run_job(job, timeout=3600)
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> SuiteResult:
+    """Run the whole suite under both control stacks."""
+    rows: List[SuiteRow] = []
+    for name, (builder, full_iters, quick_iters) in WORKLOADS.items():
+        iterations = quick_iters if quick else full_iters
+        hybrid = _run_stack(builder, iterations, seed, "hybrid")
+        cpuspeed = _run_stack(builder, iterations, seed, "cpuspeed")
+        rows.append(
+            SuiteRow(
+                workload=name,
+                mean_util=hybrid.traces["node0.util"].mean(),
+                hybrid_mean_temp=hybrid.traces["node0.temp"].mean(),
+                cpuspeed_mean_temp=cpuspeed.traces["node0.temp"].mean(),
+                hybrid_energy_kj=hybrid.energy_joules[0] / 1000.0,
+                cpuspeed_energy_kj=cpuspeed.energy_joules[0] / 1000.0,
+                hybrid_changes=hybrid.dvfs_change_count(0),
+                cpuspeed_changes=cpuspeed.dvfs_change_count(0),
+            )
+        )
+    return SuiteResult(rows=rows)
+
+
+def render(result: SuiteResult) -> str:
+    """Text output for the workload-suite study."""
+    table = Table(
+        headers=[
+            "workload",
+            "mean util",
+            "T hybrid (degC)",
+            "T cpuspeed (degC)",
+            "E hybrid (kJ)",
+            "E cpuspeed (kJ)",
+            "saving (%)",
+            "chg hybrid",
+            "chg cpuspeed",
+        ],
+        formats=[None, ".2f", ".1f", ".1f", ".1f", ".1f", "+.1f", "d", "d"],
+        title=(
+            "Workload-suite signatures (paper contribution 4): hybrid "
+            f"(P_p=50, fan cap {MAX_DUTY:.0%}) vs CPUSPEED"
+        ),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.workload,
+            row.mean_util,
+            row.hybrid_mean_temp,
+            row.cpuspeed_mean_temp,
+            row.hybrid_energy_kj,
+            row.cpuspeed_energy_kj,
+            row.energy_saving * 100,
+            row.hybrid_changes,
+            row.cpuspeed_changes,
+        )
+    return table.render()

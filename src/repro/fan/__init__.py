@@ -1,0 +1,41 @@
+"""Fan / out-of-band actuation substrate.
+
+The chain mirrors the paper's hardware:
+
+.. code-block:: text
+
+    governor ──▶ FanDriver ──i2c──▶ ADT7467 (PWM register)
+                                       │
+                                       ▼
+                      FanMotor (PWM → RPM, spin-up inertia)
+                                       │
+                                       ▼
+                      FanAero (RPM → airflow CFM, RPM → fan power W)
+                                       │
+                                       ▼
+                      ConvectionModel (airflow → R_conv) → CpuPackage
+
+* :mod:`repro.fan.pwm` — the 100-step duty-cycle discretization of §4.1.
+* :mod:`repro.fan.motor` — first-order PWM→RPM dynamics.
+* :mod:`repro.fan.aero` — fan affinity laws (flow ∝ RPM, power ∝ RPM³).
+* :mod:`repro.fan.adt7467` — register-level ADT7467 dBCool model,
+  including its hardware automatic fan-control curve (the paper's
+  "traditional" static control, Figure 1).
+* :mod:`repro.fan.driver` — the host-side driver governors talk to.
+"""
+
+from .adt7467 import ADT7467, Adt7467Config
+from .aero import FanAero
+from .driver import FanDriver
+from .motor import FanMotor, MotorParams
+from .pwm import DutyCycleLadder
+
+__all__ = [
+    "DutyCycleLadder",
+    "MotorParams",
+    "FanMotor",
+    "FanAero",
+    "ADT7467",
+    "Adt7467Config",
+    "FanDriver",
+]

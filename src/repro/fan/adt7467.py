@@ -1,0 +1,225 @@
+"""Register-level model of the Analog Devices ADT7467 dBCool controller.
+
+The paper's platform attaches an ADT7467 remote thermal monitor / fan
+controller and drives it from a custom Linux driver over i2c (§4.1).
+This module models the subset of the chip the paper exercises:
+
+* a remote temperature channel fed by the CPU's thermal diode,
+* a PWM output with an 8-bit duty register,
+* a tachometer input reporting fan speed,
+* the hardware **automatic fan control** mode, which implements exactly
+  the static PWM(T) ramp of the paper's Figure 1: duty is ``PWM_min``
+  up to ``T_min`` and rises linearly to ``PWM_max`` at
+  ``T_min + T_range`` (the paper's ``T_max``).
+
+The register map is an abridged, self-consistent subset of the ADT746x
+family layout (device/company ID registers included so drivers can
+probe).  Temperatures are stored as two's-complement °C in one-degree
+steps, tach counts as ``90 kHz · 60 / RPM`` in a 16-bit pair, and duty
+as 0–255 — all matching the real part's conventions.
+
+The chip is a *device model*: the host side talks to it only through
+:class:`~repro.i2c.bus.I2cBus` transactions, while the node physics
+feeds measurements in through :meth:`ADT7467.update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..i2c.device import I2cDevice
+from ..units import clamp, require_in_range
+
+__all__ = ["Adt7467Config", "ADT7467"]
+
+# -- register addresses (abridged ADT746x-style map) -------------------------
+REG_REMOTE1_TEMP = 0x25
+REG_LOCAL_TEMP = 0x26
+REG_TACH1_LOW = 0x28
+REG_TACH1_HIGH = 0x29
+REG_PWM1_DUTY = 0x30
+REG_PWM1_MAX = 0x38
+REG_DEVICE_ID = 0x3D
+REG_COMPANY_ID = 0x3E
+REG_PWM1_CONFIG = 0x5C
+REG_PWM1_MIN = 0x64
+REG_TMIN = 0x67
+REG_TRANGE = 0x68
+
+#: Value of :data:`REG_DEVICE_ID` (the real part reports 0x68).
+DEVICE_ID = 0x68
+#: Value of :data:`REG_COMPANY_ID` (0x41 = Analog Devices).
+COMPANY_ID = 0x41
+
+#: PWM1 behaviour field values (config register).
+CONFIG_MANUAL = 0xE0
+CONFIG_AUTO_REMOTE1 = 0xA0
+
+#: Tachometer clock: counts of a 90 kHz clock per revolution pair.
+TACH_CLOCK_PER_MINUTE = 90_000 * 60
+
+
+@dataclass(frozen=True)
+class Adt7467Config:
+    """Power-on configuration of the chip.
+
+    Defaults reproduce the paper's platform constants:
+    ``PWM_min = 10 %``, ``T_min = 38 °C``, ``T_max = 82 °C``
+    (so ``T_range = 44 K``).
+
+    Attributes
+    ----------
+    address:
+        7-bit i2c address (0x2E is the part's usual strap).
+    t_min:
+        Start of the automatic ramp, °C.
+    t_range:
+        Width of the automatic ramp, K.
+    pwm_min_duty:
+        Duty fraction at/below ``t_min`` in auto mode.
+    pwm_max_duty:
+        Duty ceiling in auto mode.
+    auto:
+        Whether the chip powers on in automatic fan control mode.
+    """
+
+    address: int = 0x2E
+    t_min: float = 38.0
+    t_range: float = 44.0
+    pwm_min_duty: float = 0.10
+    pwm_max_duty: float = 1.0
+    auto: bool = True
+
+    def __post_init__(self) -> None:
+        require_in_range(self.t_min, -40.0, 120.0, "t_min")
+        require_in_range(self.t_range, 1.0, 120.0, "t_range")
+        require_in_range(self.pwm_min_duty, 0.0, 1.0, "pwm_min_duty")
+        require_in_range(self.pwm_max_duty, 0.0, 1.0, "pwm_max_duty")
+        if self.pwm_min_duty >= self.pwm_max_duty:
+            raise ConfigurationError(
+                f"pwm_min_duty ({self.pwm_min_duty}) must be < pwm_max_duty "
+                f"({self.pwm_max_duty})"
+            )
+
+
+def _temp_to_byte(celsius: float) -> int:
+    """Two's-complement °C encoding clamped to the chip's range."""
+    value = int(round(clamp(celsius, -128.0, 127.0)))
+    return value & 0xFF
+
+
+def _byte_to_temp(byte: int) -> float:
+    """Inverse of :func:`_temp_to_byte`."""
+    return float(byte - 256 if byte >= 128 else byte)
+
+
+def _duty_to_byte(duty: float) -> int:
+    """Duty fraction → 8-bit register value."""
+    return int(round(clamp(duty, 0.0, 1.0) * 255.0))
+
+
+def _byte_to_duty(byte: int) -> float:
+    """8-bit register value → duty fraction."""
+    return byte / 255.0
+
+
+class ADT7467(I2cDevice):
+    """The dBCool monitor/fan-controller device model.
+
+    Parameters
+    ----------
+    config:
+        Power-on configuration.
+    """
+
+    def __init__(self, config: Adt7467Config | None = None) -> None:
+        cfg = config if config is not None else Adt7467Config()
+        super().__init__(address=cfg.address, name="ADT7467")
+        self.config = cfg
+
+        self.define(REG_REMOTE1_TEMP, "remote1_temp", value=_temp_to_byte(25.0))
+        self.define(REG_LOCAL_TEMP, "local_temp", value=_temp_to_byte(25.0))
+        self.define(REG_TACH1_LOW, "tach1_low", value=0xFF)
+        self.define(REG_TACH1_HIGH, "tach1_high", value=0xFF)
+        self.define(
+            REG_PWM1_DUTY,
+            "pwm1_duty",
+            value=_duty_to_byte(cfg.pwm_min_duty),
+            writable=True,
+        )
+        self.define(
+            REG_PWM1_MAX,
+            "pwm1_max",
+            value=_duty_to_byte(cfg.pwm_max_duty),
+            writable=True,
+        )
+        self.define(REG_DEVICE_ID, "device_id", value=DEVICE_ID)
+        self.define(REG_COMPANY_ID, "company_id", value=COMPANY_ID)
+        self.define(
+            REG_PWM1_CONFIG,
+            "pwm1_config",
+            value=CONFIG_AUTO_REMOTE1 if cfg.auto else CONFIG_MANUAL,
+            writable=True,
+        )
+        self.define(
+            REG_PWM1_MIN,
+            "pwm1_min",
+            value=_duty_to_byte(cfg.pwm_min_duty),
+            writable=True,
+        )
+        self.define(REG_TMIN, "tmin", value=_temp_to_byte(cfg.t_min), writable=True)
+        self.define(
+            REG_TRANGE,
+            "trange",
+            value=int(round(clamp(cfg.t_range, 1.0, 120.0))),
+            writable=True,
+        )
+
+    # -- device-model side -----------------------------------------------
+
+    @property
+    def auto_mode(self) -> bool:
+        """True when PWM1 follows the hardware automatic curve."""
+        return self.peek(REG_PWM1_CONFIG) == CONFIG_AUTO_REMOTE1
+
+    @property
+    def commanded_duty(self) -> float:
+        """Duty fraction currently on the PWM1 output (what the motor sees)."""
+        return _byte_to_duty(self.peek(REG_PWM1_DUTY))
+
+    def auto_curve_duty(self, celsius: float) -> float:
+        """The hardware automatic ramp — the paper's Figure 1.
+
+        ``PWM_min`` below ``T_min``; linear to the PWM1-max register
+        value at ``T_min + T_range``; clamped there above.
+        """
+        d_min = _byte_to_duty(self.peek(REG_PWM1_MIN))
+        d_max = _byte_to_duty(self.peek(REG_PWM1_MAX))
+        t_min = _byte_to_temp(self.peek(REG_TMIN))
+        t_range = float(self.peek(REG_TRANGE))
+        if celsius <= t_min:
+            return d_min
+        frac = clamp((celsius - t_min) / t_range, 0.0, 1.0)
+        return d_min + (d_max - d_min) * frac
+
+    def update(self, remote_temp: float, local_temp: float, rpm: float) -> None:
+        """Feed one round of measurements into the chip.
+
+        Called by the node wiring every chip sample period.  Updates the
+        temperature and tach registers and, in auto mode, recomputes the
+        PWM1 duty from the automatic curve.
+        """
+        self.poke(REG_REMOTE1_TEMP, _temp_to_byte(remote_temp))
+        self.poke(REG_LOCAL_TEMP, _temp_to_byte(local_temp))
+        if rpm <= 0.0:
+            count = 0xFFFF  # stalled fan reads as all-ones
+        else:
+            count = min(0xFFFF, int(round(TACH_CLOCK_PER_MINUTE / rpm)))
+        self.poke(REG_TACH1_LOW, count & 0xFF)
+        self.poke(REG_TACH1_HIGH, (count >> 8) & 0xFF)
+        if self.auto_mode:
+            duty = self.auto_curve_duty(_byte_to_temp(self.peek(REG_REMOTE1_TEMP)))
+            # Auto mode never exceeds the PWM1 max register.
+            duty = min(duty, _byte_to_duty(self.peek(REG_PWM1_MAX)))
+            self.poke(REG_PWM1_DUTY, _duty_to_byte(duty))

@@ -1,0 +1,108 @@
+"""ACPI sleep/throttle-state control — the paper's named extension.
+
+§3.2.2 lists "valid sleep states for ACPI-compatible system" as a third
+technique the thermal control array can host.  We realize it with ACPI
+processor *throttling* states (T-states): the clock is duty-gated in
+1/8 steps, cutting both progress and switching power proportionally —
+an in-band technique coarser than DVFS (no voltage reduction, so the
+power saving is linear rather than cubic) but available on parts with
+no DVFS ladder at all.
+
+:class:`SleepStateDevice` adapts the core's throttle control as a
+:class:`~repro.core.actuator.ModeActuator`, and
+:class:`AcpiSleepControl` is the same unified controller shell used for
+the fan — demonstrating the paper's claim that the framework hosts any
+technique that fits the array abstraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.actuator import ModeActuator
+from ..core.controller import UnifiedThermalController
+from ..core.policy import Policy
+from ..cpu.core import CpuCore
+from ..errors import ConfigurationError
+from ..sim.events import EventLog
+from .base import Governor
+
+__all__ = ["SleepStateDevice", "AcpiSleepControl"]
+
+
+class SleepStateDevice(ModeActuator):
+    """ACPI T-state throttler as a mode actuator.
+
+    Modes are throttle fractions ``k/levels`` for ``k = 0..levels-1``,
+    ascending effectiveness (more gating = more cooling).
+
+    Parameters
+    ----------
+    core:
+        The CPU core to throttle.
+    levels:
+        Number of T-states (ACPI defines 8).
+    """
+
+    technique = "sleep"
+
+    def __init__(self, core: CpuCore, levels: int = 8) -> None:
+        if levels < 2:
+            raise ConfigurationError(f"need >= 2 throttle levels, got {levels}")
+        self.core = core
+        self._modes = tuple(k / levels for k in range(levels))
+
+    @property
+    def modes(self) -> Sequence[float]:
+        return self._modes
+
+    def apply(self, mode: float, t: float) -> None:
+        self.core.set_throttle(float(mode))
+
+    def current_mode(self) -> float:
+        throttle = self.core.throttle
+        return min(self._modes, key=lambda m: abs(m - throttle))
+
+
+class AcpiSleepControl(Governor):
+    """Unified controller over T-states.
+
+    Same shell as :class:`~repro.governors.fan_dynamic.DynamicFanControl`
+    but wrapping a :class:`SleepStateDevice` — the array/window/selector
+    machinery is reused untouched.
+
+    Parameters
+    ----------
+    core:
+        The CPU core to throttle.
+    policy:
+        User policy.
+    levels:
+        T-state count.
+    events:
+        Shared event log.
+    """
+
+    def __init__(
+        self,
+        core: CpuCore,
+        policy: Policy,
+        levels: int = 8,
+        events: Optional[EventLog] = None,
+        name: str = "acpi-sleep",
+    ) -> None:
+        super().__init__(name=name, period=1.0)
+        self.controller = UnifiedThermalController(
+            actuator=SleepStateDevice(core, levels=levels),
+            policy=policy,
+            events=events,
+            name=name,
+        )
+
+    def on_sample(self, t: float, temperature: float) -> None:
+        self.controller.push_sample(t, temperature)
+
+    @property
+    def current_throttle(self) -> float:
+        """The throttle fraction currently commanded."""
+        return float(self.controller.current_mode)

@@ -1,0 +1,46 @@
+"""The governor protocol.
+
+A governor is a user-space daemon bound to one node.  The cluster
+delivers two kinds of callbacks:
+
+* :meth:`Governor.on_sample` — every thermal-sensor sample (the
+  paper's 4 Hz lm-sensors cadence).  History-based controllers feed
+  their two-level window here.
+* :meth:`Governor.on_interval` — every ``period`` seconds of the
+  governor's own control interval (CPUSPEED polls utilization here).
+
+:meth:`Governor.start` runs once before the simulation loop — the place
+to grab manual control of the fan chip or pin an initial P-state.
+"""
+
+from __future__ import annotations
+
+from ..units import require_positive
+
+__all__ = ["Governor"]
+
+
+class Governor:
+    """Base class for thermal-control daemons.
+
+    Parameters
+    ----------
+    name:
+        Daemon identifier used in events and traces.
+    period:
+        Control interval for :meth:`on_interval`, seconds.  Governors
+        that only react to sensor samples may leave the default.
+    """
+
+    def __init__(self, name: str, period: float = 1.0) -> None:
+        self.name = name
+        self.period = require_positive(period, "period")
+
+    def start(self, t: float) -> None:
+        """One-time setup before the run loop (default: nothing)."""
+
+    def on_sample(self, t: float, temperature: float) -> None:
+        """Receive one thermal-sensor sample (default: ignore)."""
+
+    def on_interval(self, t: float) -> None:
+        """Run one control interval (default: nothing)."""

@@ -1,0 +1,149 @@
+"""CPUSPEED — the utilization-driven baseline daemon (paper §4.3, [33]).
+
+A faithful behavioural model of Carl Thompson's classic ``cpuspeed``
+daemon the paper compares tDVFS against:
+
+* every ``interval`` seconds it reads CPU busy time (our
+  :attr:`~repro.cpu.core.CpuCore.busy_seconds` stands in for
+  ``/proc/stat``) and computes the interval's utilization;
+* utilization at/above ``up_threshold`` → jump straight to the maximum
+  frequency (cpuspeed's characteristic "snap to max");
+* utilization at/below ``down_threshold`` → step one P-state down;
+* like the real daemon's ``-t`` option, an optional temperature limit
+  forces a step down while the sensor reads at/above ``max_temp``,
+  regardless of utilization, and blocks upscaling until the reading
+  falls below ``max_temp − hysteresis``.
+
+Under an iterative MPI code this produces exactly the pathology the
+paper measures: every communication/barrier phase looks idle, so the
+daemon flaps down and snaps back up — 101–139 frequency changes over
+one BT.B run (Table 1) — while the temperature keeps creeping up
+because none of this is temperature-*aware* beyond the crude limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cpu.core import CpuCore
+from ..errors import ConfigurationError
+from ..sim.events import EventLog
+from ..units import require_in_range, require_positive
+from .base import Governor
+
+__all__ = ["CpuSpeedParams", "CpuSpeed"]
+
+
+@dataclass(frozen=True)
+class CpuSpeedParams:
+    """Daemon tuning (defaults match common cpuspeed deployments).
+
+    Attributes
+    ----------
+    interval:
+        Polling interval, seconds.
+    up_threshold:
+        Utilization at/above which the daemon snaps to max frequency.
+    down_threshold:
+        Utilization at/below which it steps one P-state down.
+    max_temp:
+        Optional temperature limit, °C (``None`` disables, like
+        running without ``-t``).
+    hysteresis:
+        Upscaling is blocked until temperature < ``max_temp -
+        hysteresis``, K.
+    """
+
+    interval: float = 0.25
+    up_threshold: float = 0.90
+    down_threshold: float = 0.28
+    max_temp: Optional[float] = 60.0
+    hysteresis: float = 3.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.interval, "interval")
+        require_in_range(self.up_threshold, 0.0, 1.0, "up_threshold")
+        require_in_range(self.down_threshold, 0.0, 1.0, "down_threshold")
+        if self.down_threshold >= self.up_threshold:
+            raise ConfigurationError(
+                f"down_threshold ({self.down_threshold}) must be < "
+                f"up_threshold ({self.up_threshold})"
+            )
+        require_positive(self.hysteresis, "hysteresis")
+
+
+class CpuSpeed(Governor):
+    """The interval/utilization governor.
+
+    Parameters
+    ----------
+    core:
+        The node's CPU core (supplies busy time and the DVFS handle).
+    params:
+        Daemon tuning.
+    events:
+        Shared event log (frequency changes are logged by the Dvfs
+        actuator itself).
+    """
+
+    def __init__(
+        self,
+        core: CpuCore,
+        params: Optional[CpuSpeedParams] = None,
+        events: Optional[EventLog] = None,
+        name: str = "cpuspeed",
+    ) -> None:
+        p = params if params is not None else CpuSpeedParams()
+        super().__init__(name=name, period=p.interval)
+        self.core = core
+        self.params = p
+        self.events = events
+        self._busy_snapshot = 0.0
+        self._time_snapshot: Optional[float] = None
+        self._last_temp: Optional[float] = None
+
+    def start(self, t: float) -> None:
+        self._busy_snapshot = self.core.busy_seconds
+        self._time_snapshot = t
+
+    def on_sample(self, t: float, temperature: float) -> None:
+        # The daemon keeps only the latest reading (it polls sysfs).
+        self._last_temp = temperature
+
+    def interval_utilization(self, t: float) -> float:
+        """Utilization since the previous interval (diff of busy time)."""
+        if self._time_snapshot is None:
+            self._time_snapshot = t
+            self._busy_snapshot = self.core.busy_seconds
+            return 0.0
+        elapsed = t - self._time_snapshot
+        if elapsed <= 0:
+            return 0.0
+        busy = self.core.busy_seconds - self._busy_snapshot
+        self._time_snapshot = t
+        self._busy_snapshot = self.core.busy_seconds
+        return min(1.0, busy / elapsed)
+
+    def on_interval(self, t: float) -> None:
+        p = self.params
+        util = self.interval_utilization(t)
+        dvfs = self.core.dvfs
+
+        too_hot = (
+            p.max_temp is not None
+            and self._last_temp is not None
+            and self._last_temp >= p.max_temp
+        )
+        cooled_off = (
+            p.max_temp is None
+            or self._last_temp is None
+            or self._last_temp < p.max_temp - p.hysteresis
+        )
+
+        if too_hot:
+            dvfs.step_down(t)
+        elif util >= p.up_threshold and cooled_off:
+            dvfs.set_index(0, t)  # snap to max
+        elif util <= p.down_threshold:
+            dvfs.step_down(t)

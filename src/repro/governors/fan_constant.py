@@ -1,0 +1,43 @@
+"""Constant fan speed control.
+
+The third fan policy of the paper's Figure 6: the PWM duty is pinned
+(75 % in the paper's comparison).  It holds the lowest temperature of
+the three fan policies but burns the most fan power — the cube law
+makes a pinned-high fan expensive — and it cannot exploit idle periods.
+"""
+
+from __future__ import annotations
+
+from ..fan.driver import FanDriver
+from ..units import require_in_range
+from .base import Governor
+
+__all__ = ["ConstantFanControl"]
+
+
+class ConstantFanControl(Governor):
+    """Pin the fan at a fixed duty for the whole run.
+
+    Parameters
+    ----------
+    driver:
+        The node's fan driver.
+    duty:
+        The pinned duty fraction (paper: 0.75).
+    """
+
+    def __init__(
+        self, driver: FanDriver, duty: float = 0.75, name: str = "fan-constant"
+    ) -> None:
+        super().__init__(name=name, period=1.0)
+        self.driver = driver
+        self.duty = require_in_range(duty, 0.0, 1.0, "duty")
+
+    def start(self, t: float) -> None:
+        self.driver.set_manual_mode()
+        self.driver.set_duty(self.duty)
+
+    def on_interval(self, t: float) -> None:
+        # Re-assert the setpoint each interval: a real daemon does this
+        # to survive chip resets / BMC interference.
+        self.driver.set_duty(self.duty)

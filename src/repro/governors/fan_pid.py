@@ -1,0 +1,129 @@
+"""PID fan control — the formal-control baseline.
+
+The paper's related work surveys *"formal thermal control techniques"*
+(Lefurgy's closed-loop power capping, Wang's MIMO cluster controller)
+and positions its own history-based heuristic against them.  This
+module supplies that comparison point: a textbook discrete PID loop
+regulating the die temperature to a setpoint by actuating PWM duty.
+
+.. math::
+
+    e_k = T_k - T_{set}, \\qquad
+    u_k = K_p e_k + K_i \\sum e_j \\Delta t + K_d (e_k - e_{k-1})/\\Delta t
+
+with output clamping and conditional anti-windup (the integrator only
+accumulates while the output is unsaturated).  Unlike the paper's
+controller it needs a *setpoint* (the paper's needs only the safe
+band), reacts to absolute error rather than behaviour classes, and its
+gains must be tuned per plant — the comparison study
+(`tests/test_governors_fan_pid.py`) shows both loops holding the
+setpoint, with the PID chasing jitter noticeably harder because it has
+no notion of Type III behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fan.driver import FanDriver
+from ..sim.events import EventLog
+from ..units import clamp, require_non_negative, require_positive
+from .base import Governor
+
+__all__ = ["PidGains", "PidFanControl"]
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """PID gains, in duty-fraction per kelvin (per second for Ki/Kd).
+
+    Defaults are Ziegler–Nichols-ish for the simulated plant: the
+    plant gain is ~0.08 K per duty-percent with a ~100 s dominant time
+    constant, giving a stable, mildly-damped loop.
+    """
+
+    kp: float = 0.04
+    ki: float = 0.002
+    kd: float = 0.02
+
+    def __post_init__(self) -> None:
+        require_positive(self.kp, "kp")
+        require_non_negative(self.ki, "ki")
+        require_non_negative(self.kd, "kd")
+
+
+class PidFanControl(Governor):
+    """Closed-loop PID regulation of die temperature via PWM duty.
+
+    Parameters
+    ----------
+    driver:
+        The node's fan driver.
+    setpoint:
+        Target die temperature, °C.
+    gains:
+        Loop gains.
+    period:
+        Control period, seconds (acts on each sensor-derived interval).
+    events:
+        Optional event log; emits ``ctrl.pid`` on saturation changes.
+    """
+
+    def __init__(
+        self,
+        driver: FanDriver,
+        setpoint: float = 50.0,
+        gains: Optional[PidGains] = None,
+        period: float = 0.25,
+        events: Optional[EventLog] = None,
+        name: str = "fan-pid",
+    ) -> None:
+        super().__init__(name=name, period=period)
+        self.driver = driver
+        self.setpoint = setpoint
+        self.gains = gains if gains is not None else PidGains()
+        self.events = events
+        self._integral = 0.0
+        self._previous_error: Optional[float] = None
+        self._last_output = driver.ladder.min_duty
+        self._saturated = False
+
+    def start(self, t: float) -> None:
+        self.driver.set_manual_mode()
+        self.driver.set_duty(self._last_output)
+
+    def on_sample(self, t: float, temperature: float) -> None:
+        g = self.gains
+        dt = 0.25  # sensor cadence; errors are per-sample
+        error = temperature - self.setpoint
+
+        # conditional anti-windup: freeze the integrator while the
+        # output is pinned at either end and the error pushes further in
+        lo = self.driver.ladder.min_duty
+        hi = min(self.driver.max_duty, self.driver.ladder.max_duty)
+        pushing_out = (self._last_output >= hi and error > 0) or (
+            self._last_output <= lo and error < 0
+        )
+        if not pushing_out:
+            self._integral += error * dt
+
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+
+        raw = g.kp * error + g.ki * self._integral + g.kd * derivative
+        output = clamp(lo + raw, lo, hi)
+        saturated = output in (lo, hi)
+        if saturated != self._saturated and self.events is not None:
+            self.events.emit(
+                t, "ctrl.pid", self.name, saturated=saturated, output=round(output, 3)
+            )
+        self._saturated = saturated
+        self._last_output = self.driver.set_duty(output)
+
+    @property
+    def last_output(self) -> float:
+        """The duty most recently commanded."""
+        return self._last_output

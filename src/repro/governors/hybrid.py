@@ -1,0 +1,120 @@
+"""Hybrid dynamic fan + tDVFS control (paper §4.4).
+
+The paper's full system: the out-of-band and in-band techniques run
+together under **one** ``P_p``.  There is no explicit arbiter — the
+coordination is emergent, and the paper's observations follow from the
+two trigger structures:
+
+* the dynamic fan reacts within one window round to any temperature
+  *change*, so with a small ``P_p`` it holds the plant below the tDVFS
+  threshold longer (or forever), *deferring the in-band cost*;
+* tDVFS fires only when the level-two average is consistently above
+  threshold — i.e. only when the fan (capped, in Figure 10, at 50 %)
+  has already lost.
+
+:class:`HybridControl` composes the two into one governor object;
+:func:`hybrid_governors` is the convenience used by experiments to rig
+a whole node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.coordinator import Coordinator
+from ..core.policy import Policy
+from ..sim.events import EventLog
+from .base import Governor
+from .fan_dynamic import DynamicFanControl
+from .tdvfs import TDvfs, TDvfsParams
+
+__all__ = ["HybridControl", "hybrid_governors"]
+
+
+class HybridControl(Governor):
+    """One governor running dynamic fan + tDVFS under a shared policy.
+
+    Parameters
+    ----------
+    fan:
+        The out-of-band half.
+    tdvfs:
+        The in-band half.
+
+    Raises
+    ------
+    repro.errors.PolicyError
+        Via the :class:`~repro.core.coordinator.Coordinator` if the two
+        halves were built with different policies — the paper's design
+        point is a *single* user intention.
+    """
+
+    def __init__(
+        self, fan: DynamicFanControl, tdvfs: TDvfs, name: str = "hybrid"
+    ) -> None:
+        super().__init__(name=name, period=1.0)
+        if fan.controller.policy is not tdvfs.policy and (
+            fan.controller.policy != tdvfs.policy
+        ):
+            from ..errors import PolicyError
+
+            raise PolicyError(
+                "hybrid control requires the fan and tDVFS halves to share "
+                f"one policy (got P_p={fan.controller.policy.pp} vs "
+                f"P_p={tdvfs.policy.pp})"
+            )
+        self.fan = fan
+        self.tdvfs = tdvfs
+        # Out-of-band is cheaper: samples reach the fan first.
+        self.coordinator = Coordinator(policy=tdvfs.policy, name=name)
+        self.coordinator.register("fan", fan.on_sample, cost_rank=0)
+        self.coordinator.register("dvfs", tdvfs.on_sample, cost_rank=1)
+
+    def start(self, t: float) -> None:
+        self.fan.start(t)
+        self.tdvfs.start(t)
+
+    def on_sample(self, t: float, temperature: float) -> None:
+        self.coordinator.on_sample(t, temperature)
+
+    def on_interval(self, t: float) -> None:
+        self.fan.on_interval(t)
+        self.tdvfs.on_interval(t)
+
+
+def hybrid_governors(
+    node,
+    policy: Policy,
+    max_duty: float = 0.50,
+    tdvfs_params: Optional[TDvfsParams] = None,
+    events: Optional[EventLog] = None,
+) -> HybridControl:
+    """Rig one node with the paper's §4.4 hybrid configuration.
+
+    Parameters
+    ----------
+    node:
+        A :class:`~repro.cluster.node.Node`.
+    policy:
+        The shared user policy.
+    max_duty:
+        Fan cap (the Figure 10 experiments use 50 %).
+    tdvfs_params:
+        tDVFS tuning (default: 51 °C threshold, as in the paper).
+    events:
+        Shared event log.
+    """
+    fan = DynamicFanControl(
+        driver=node.make_fan_driver(max_duty=max_duty),
+        policy=policy,
+        events=events,
+        name=f"{node.name}.fan-dynamic",
+    )
+    tdvfs = TDvfs(
+        dvfs=node.dvfs,
+        policy=policy,
+        params=tdvfs_params,
+        events=events,
+        name=f"{node.name}.tdvfs",
+    )
+    return HybridControl(fan, tdvfs, name=f"{node.name}.hybrid")

@@ -1,0 +1,15 @@
+"""i2c / SMBus substrate.
+
+The paper's fan driver talks to an ADT7467 monitor chip over the i2c
+bus.  This package provides a faithful-in-spirit software bus:
+addressable register-file devices (:mod:`repro.i2c.device`) attached to
+a bus master (:mod:`repro.i2c.bus`) that performs SMBus-style
+read-byte/write-byte transactions, with the same failure modes a real
+bus has (no device at address, invalid register, read-only register
+writes).
+"""
+
+from .bus import I2cBus
+from .device import I2cDevice, Register
+
+__all__ = ["I2cBus", "I2cDevice", "Register"]

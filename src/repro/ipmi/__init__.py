@@ -1,0 +1,33 @@
+"""IPMI / BMC out-of-band management substrate.
+
+The paper's "out-of-band" techniques act outside the application's
+critical path; on modern servers the canonical out-of-band path is the
+**Baseboard Management Controller** reached via IPMI (``ipmitool sensor
+list``, ``ipmitool raw`` fan overrides) — which is exactly how one
+would script this paper's fan side today.
+
+This package models that path:
+
+* :mod:`repro.ipmi.sdr` — the Sensor Data Record repository: typed
+  sensor records with thresholds, like ``ipmitool sdr`` shows.
+* :mod:`repro.ipmi.bmc` — the BMC: sensor reads, threshold events into
+  a System Event Log (SEL), and a fan override command that writes the
+  ADT7467 through the node's i2c bus (the BMC is the other bus master).
+* :mod:`repro.ipmi.actuator` — a
+  :class:`~repro.core.actuator.ModeActuator` over the BMC fan override,
+  so the paper's unified controller can drive the fan *entirely
+  out-of-band* without touching the host OS.
+"""
+
+from .actuator import BmcFanActuator
+from .bmc import BMC, SelEntry
+from .sdr import SensorRecord, SensorType, ThresholdStatus
+
+__all__ = [
+    "SensorType",
+    "ThresholdStatus",
+    "SensorRecord",
+    "SelEntry",
+    "BMC",
+    "BmcFanActuator",
+]

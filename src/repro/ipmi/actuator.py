@@ -1,0 +1,74 @@
+"""The BMC fan override as a unified-controller mode actuator.
+
+Dropping :class:`BmcFanActuator` into
+:class:`~repro.core.controller.UnifiedThermalController` runs the
+paper's dynamic fan control **entirely out-of-band**: samples come from
+the BMC's CPU temperature sensor and actuation goes through the BMC's
+raw fan command — no host-OS driver involved.  This is the ipmitool
+deployment path a practitioner would use to reproduce the paper on
+hardware they cannot load kernel modules on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.actuator import ModeActuator
+from ..errors import ActuatorError
+from ..units import require_in_range
+from .bmc import BMC
+
+__all__ = ["BmcFanActuator"]
+
+
+class BmcFanActuator(ModeActuator):
+    """Out-of-band fan modes via the BMC override command.
+
+    Parameters
+    ----------
+    bmc:
+        The node's management controller.
+    steps:
+        Number of discrete duty modes (BMC raw commands usually take a
+        byte; 100 matches the paper's discretization).
+    min_duty / max_duty:
+        Mode range; ``max_duty`` emulates a capped fan.
+    """
+
+    technique = "fan"
+
+    def __init__(
+        self,
+        bmc: BMC,
+        steps: int = 100,
+        min_duty: float = 0.01,
+        max_duty: float = 1.0,
+    ) -> None:
+        require_in_range(min_duty, 0.0, 1.0, "min_duty")
+        require_in_range(max_duty, 0.0, 1.0, "max_duty")
+        if steps < 2 or min_duty >= max_duty:
+            raise ActuatorError(
+                f"invalid BMC fan mode set: steps={steps}, "
+                f"range=[{min_duty}, {max_duty}]"
+            )
+        self.bmc = bmc
+        self._modes = tuple(
+            float(d) for d in np.linspace(min_duty, max_duty, steps)
+        )
+        # take control immediately at the least effective mode
+        self.bmc.set_fan_override(self._modes[0])
+
+    @property
+    def modes(self) -> Sequence[float]:
+        return self._modes
+
+    def apply(self, mode: float, t: float) -> None:
+        self.bmc.set_fan_override(float(mode))
+
+    def current_mode(self) -> float:
+        duty = self.bmc.fan_override
+        if duty is None:
+            return self._modes[0]
+        return min(self._modes, key=lambda d: abs(d - duty))

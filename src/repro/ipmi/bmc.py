@@ -1,0 +1,191 @@
+"""The Baseboard Management Controller model.
+
+The BMC is the second master on the node's i2c segment: it polls its
+SDR sensors, logs threshold crossings into a System Event Log, and
+exposes the management commands an ``ipmitool`` user scripts against:
+
+* ``sensor_list()`` / ``get_sensor_reading(id)`` — like
+  ``ipmitool sensor list``.
+* ``set_fan_override(duty)`` / ``clear_fan_override()`` — the raw fan
+  command path most vendors expose; writes the ADT7467's PWM register
+  directly over the shared i2c bus, completely outside the host OS.
+* ``sel_entries()`` — the System Event Log.
+
+Construction wires a standard server SDR set (CPU temperature with
+85/95 °C critical thresholds, fan tach, wall power) against a
+:class:`~repro.cluster.node.Node`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..fan.adt7467 import CONFIG_MANUAL, REG_PWM1_CONFIG, REG_PWM1_DUTY
+from ..units import clamp, require_in_range
+from .sdr import SensorRecord, SensorType, ThresholdStatus
+
+__all__ = ["SelEntry", "BMC"]
+
+#: Standard sensor ids in the default SDR set.
+SENSOR_CPU_TEMP = 0x01
+SENSOR_FAN1 = 0x02
+SENSOR_WALL_POWER = 0x03
+
+
+@dataclass(frozen=True)
+class SelEntry:
+    """One System Event Log record."""
+
+    time: float
+    sensor_name: str
+    status: ThresholdStatus
+    reading: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:10.3f}s] SEL {self.sensor_name}: "
+            f"{self.status.name} at {self.reading:.1f}"
+        )
+
+
+class BMC:
+    """A node's management controller.
+
+    Parameters
+    ----------
+    node:
+        The managed :class:`~repro.cluster.node.Node`.
+    poll_period:
+        Sensor scan cadence, seconds (BMCs poll at ~1 Hz).
+    cpu_temp_thresholds:
+        (unc, ucr, unr) for the CPU temperature sensor.
+    """
+
+    def __init__(
+        self,
+        node,
+        poll_period: float = 1.0,
+        cpu_temp_thresholds: Tuple[float, float, float] = (75.0, 85.0, 95.0),
+    ) -> None:
+        if poll_period <= 0:
+            raise ConfigurationError(
+                f"poll_period must be > 0, got {poll_period!r}"
+            )
+        self.node = node
+        self.poll_period = poll_period
+        self._sel: List[SelEntry] = []
+        self._last_status: Dict[int, ThresholdStatus] = {}
+        self._override_duty: Optional[float] = None
+
+        unc, ucr, unr = cpu_temp_thresholds
+        self._sdr: Dict[int, SensorRecord] = {}
+        for record in (
+            SensorRecord(
+                SENSOR_CPU_TEMP,
+                "CPU Temp",
+                SensorType.TEMPERATURE,
+                # The BMC reads the fan chip's remote diode register —
+                # the identical path lm-sensors uses, 1 degC resolution.
+                read=lambda: float(round(node.package.die_temperature)),
+                unc=unc,
+                ucr=ucr,
+                unr=unr,
+            ),
+            SensorRecord(
+                SENSOR_FAN1,
+                "FAN1",
+                SensorType.FAN,
+                read=lambda: node.fan_rpm,
+            ),
+            SensorRecord(
+                SENSOR_WALL_POWER,
+                "System Power",
+                SensorType.POWER,
+                read=lambda: node.wall_power,
+            ),
+        ):
+            self._sdr[record.sensor_id] = record
+            self._last_status[record.sensor_id] = ThresholdStatus.OK
+
+    # -- sensor commands ----------------------------------------------------
+
+    def sensor_list(self) -> List[Tuple[str, float, str, ThresholdStatus]]:
+        """(name, reading, unit, status) per sensor — ``ipmitool sensor``."""
+        out = []
+        for record in self._sdr.values():
+            value = record.read()
+            out.append(
+                (record.name, value, record.sensor_type.value, record.status_of(value))
+            )
+        return out
+
+    def get_sensor_reading(self, sensor_id: int) -> Tuple[float, ThresholdStatus]:
+        """Reading and threshold status of one sensor."""
+        record = self._sdr.get(sensor_id)
+        if record is None:
+            raise ConfigurationError(
+                f"no SDR record {sensor_id:#04x}; have {sorted(self._sdr)}"
+            )
+        value = record.read()
+        return value, record.status_of(value)
+
+    @property
+    def cpu_temperature(self) -> float:
+        """Shortcut: the CPU temperature sensor's current reading."""
+        return self.get_sensor_reading(SENSOR_CPU_TEMP)[0]
+
+    # -- fan override ------------------------------------------------------
+
+    def set_fan_override(self, duty: float) -> None:
+        """Force the fan PWM from the BMC (survives host wedges/panics).
+
+        Puts the ADT7467 into manual mode and writes the duty register
+        over the shared i2c bus — the raw-command fan path.
+        """
+        require_in_range(duty, 0.0, 1.0, "duty")
+        self._override_duty = duty
+        bus = self.node.bus
+        address = self.node.fan_chip.address
+        bus.write_byte_data(address, REG_PWM1_CONFIG, CONFIG_MANUAL)
+        bus.write_byte_data(
+            address, REG_PWM1_DUTY, int(round(clamp(duty, 0.0, 1.0) * 255))
+        )
+
+    def clear_fan_override(self) -> None:
+        """Release the override (chip stays in its last mode/duty)."""
+        self._override_duty = None
+
+    @property
+    def fan_override(self) -> Optional[float]:
+        """The forced duty, or ``None`` when not overriding."""
+        return self._override_duty
+
+    # -- polling & SEL -----------------------------------------------------
+
+    def poll(self, t: float) -> None:
+        """One sensor scan: log SEL entries on threshold *transitions*."""
+        for sensor_id, record in self._sdr.items():
+            value = record.read()
+            status = record.status_of(value)
+            if status != self._last_status[sensor_id]:
+                if status > self._last_status[sensor_id]:
+                    # escalations are logged; de-escalations just clear
+                    self._sel.append(
+                        SelEntry(
+                            time=t,
+                            sensor_name=record.name,
+                            status=status,
+                            reading=value,
+                        )
+                    )
+                self._last_status[sensor_id] = status
+
+    def sel_entries(self) -> List[SelEntry]:
+        """The System Event Log, oldest first."""
+        return list(self._sel)
+
+    def sel_count(self, at_least: ThresholdStatus) -> int:
+        """SEL entries at or above a severity."""
+        return sum(1 for e in self._sel if e.status.value >= at_least.value)

@@ -1,0 +1,88 @@
+"""Sensor Data Records — the BMC's sensor inventory.
+
+A :class:`SensorRecord` binds a name and type to a *reading source*
+(any zero-argument callable) plus optional upper thresholds
+(non-critical / critical / non-recoverable), mirroring the analog
+threshold model of the IPMI specification's full sensor records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["SensorType", "ThresholdStatus", "SensorRecord"]
+
+
+class SensorType(enum.Enum):
+    """The sensor classes this BMC model carries."""
+
+    TEMPERATURE = "degrees C"
+    FAN = "RPM"
+    POWER = "Watts"
+    VOLTAGE = "Volts"
+
+
+class ThresholdStatus(enum.Enum):
+    """IPMI-style threshold comparison outcome, ordered by severity."""
+
+    OK = 0
+    UPPER_NON_CRITICAL = 1
+    UPPER_CRITICAL = 2
+    UPPER_NON_RECOVERABLE = 3
+
+    def __lt__(self, other: "ThresholdStatus") -> bool:
+        return self.value < other.value
+
+
+@dataclass
+class SensorRecord:
+    """One SDR entry.
+
+    Attributes
+    ----------
+    sensor_id:
+        Numeric id unique within the repository.
+    name:
+        Display name (``"CPU Temp"``, ``"FAN1"``).
+    sensor_type:
+        Physical class (fixes the unit string).
+    read:
+        Zero-argument callable producing the current raw reading.
+    unc / ucr / unr:
+        Upper non-critical / critical / non-recoverable thresholds
+        (``None`` disables each).  Must be non-decreasing where present.
+    """
+
+    sensor_id: int
+    name: str
+    sensor_type: SensorType
+    read: Callable[[], float]
+    unc: Optional[float] = None
+    ucr: Optional[float] = None
+    unr: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sensor_id <= 0xFF:
+            raise ConfigurationError(
+                f"sensor id {self.sensor_id} outside the IPMI byte range"
+            )
+        present = [t for t in (self.unc, self.ucr, self.unr) if t is not None]
+        if any(b < a for a, b in zip(present, present[1:])):
+            raise ConfigurationError(
+                f"sensor {self.name!r}: thresholds must be non-decreasing "
+                f"(unc <= ucr <= unr), got {self.unc}/{self.ucr}/{self.unr}"
+            )
+
+    def status_of(self, value: float) -> ThresholdStatus:
+        """Threshold status of a reading (most severe crossed level)."""
+        if self.unr is not None and value >= self.unr:
+            return ThresholdStatus.UPPER_NON_RECOVERABLE
+        if self.ucr is not None and value >= self.ucr:
+            return ThresholdStatus.UPPER_CRITICAL
+        if self.unc is not None and value >= self.unc:
+            return ThresholdStatus.UPPER_NON_CRITICAL
+        return ThresholdStatus.OK

@@ -1,0 +1,36 @@
+"""Discrete-time simulation substrate.
+
+The whole reproduction runs on a fixed-step simulation loop: physics
+(thermal RC networks, fan motors) integrate every step, while sensors,
+controllers and workload phase logic fire on their own periods via
+:class:`~repro.sim.clock.PeriodicTask` scheduling.
+
+Public surface:
+
+* :class:`~repro.sim.clock.SimClock` — simulation time.
+* :class:`~repro.sim.clock.PeriodicTask` — fixed-period callbacks.
+* :class:`~repro.sim.engine.Component` — protocol for simulated parts.
+* :class:`~repro.sim.engine.SimulationEngine` — the run loop.
+* :class:`~repro.sim.trace.Trace` / :class:`~repro.sim.trace.TraceSet` —
+  time-series recording.
+* :class:`~repro.sim.events.EventLog` — discrete event records.
+* :class:`~repro.sim.rng.RngStreams` — per-component seeded randomness.
+"""
+
+from .clock import PeriodicTask, SimClock
+from .engine import Component, SimulationEngine
+from .events import Event, EventLog
+from .rng import RngStreams
+from .trace import Trace, TraceSet
+
+__all__ = [
+    "SimClock",
+    "PeriodicTask",
+    "Component",
+    "SimulationEngine",
+    "Event",
+    "EventLog",
+    "Trace",
+    "TraceSet",
+    "RngStreams",
+]

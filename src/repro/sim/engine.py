@@ -1,0 +1,199 @@
+"""The fixed-step simulation engine.
+
+The engine owns a :class:`~repro.sim.clock.SimClock`, a list of
+:class:`Component` instances and any number of
+:class:`~repro.sim.clock.PeriodicTask` callbacks.  Each tick it:
+
+1. advances the clock by ``dt``;
+2. calls every component's :meth:`Component.step` in registration
+   order (physics first, then sensors, then controllers — the caller
+   controls ordering by registration);
+3. fires any periodic tasks whose period divides the current tick.
+
+Runs terminate on a time horizon, on a stop predicate (e.g. "workload
+finished"), or on an explicit :meth:`SimulationEngine.stop` from inside
+a callback — whichever comes first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from .clock import PeriodicTask, SimClock
+from .events import EventLog
+from .trace import TraceSet
+
+__all__ = ["Component", "SimulationEngine"]
+
+
+class Component:
+    """Base class for anything advanced by the engine every tick.
+
+    Subclasses override :meth:`step`; ``name`` is used in traces, events
+    and error messages.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("component name must be non-empty")
+        self.name = name
+
+    def step(self, t: float, dt: float) -> None:
+        """Advance internal state from ``t - dt`` to ``t``.
+
+        ``t`` is the time *after* this tick; physical models should
+        integrate over the interval ``[t - dt, t]``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SimulationEngine:
+    """Fixed-step run loop over registered components and periodic tasks.
+
+    Parameters
+    ----------
+    dt:
+        Physics step in seconds.
+    traces:
+        Optional shared :class:`TraceSet`; created if omitted.
+    events:
+        Optional shared :class:`EventLog`; created if omitted.
+    """
+
+    def __init__(
+        self,
+        dt: float = 0.05,
+        traces: Optional[TraceSet] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.clock = SimClock(dt)
+        self.traces = traces if traces is not None else TraceSet()
+        self.events = events if events is not None else EventLog()
+        self._components: List[Component] = []
+        self._tasks: List[PeriodicTask] = []
+        self._running = False
+        self._stop_requested = False
+
+    # -- wiring --------------------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        """Register a component; returns it for chaining.
+
+        Components step in registration order, so register physical
+        models before the sensors that read them and sensors before the
+        controllers that react to them.
+        """
+        if self._running:
+            raise SimulationError("cannot add components while running")
+        if any(c is component for c in self._components):
+            raise ConfigurationError(
+                f"component {component.name!r} registered twice"
+            )
+        self._components.append(component)
+        return component
+
+    def add_components(self, components: Sequence[Component]) -> None:
+        """Register several components in order."""
+        for c in components:
+            self.add_component(c)
+
+    def add_task(self, task: PeriodicTask) -> PeriodicTask:
+        """Register a periodic task; binds it to this engine's clock."""
+        if self._running:
+            raise SimulationError("cannot add tasks while running")
+        task.bind(self.clock)
+        self._tasks.append(task)
+        return task
+
+    def every(
+        self, period: float, callback: Callable[[float], None], phase: float = 0.0
+    ) -> PeriodicTask:
+        """Convenience wrapper: schedule ``callback`` every ``period`` s."""
+        return self.add_task(PeriodicTask(period=period, callback=callback, phase=phase))
+
+    # -- running -------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current tick."""
+        self._stop_requested = True
+
+    def step(self) -> float:
+        """Advance the simulation by exactly one tick; returns new time."""
+        t = self.clock.advance()
+        dt = self.clock.dt
+        for component in self._components:
+            component.step(t, dt)
+        for task in self._tasks:
+            task.maybe_fire(self.clock)
+        return t
+
+    def run(
+        self,
+        duration: Optional[float] = None,
+        until: Optional[Callable[[], bool]] = None,
+        max_ticks: Optional[int] = None,
+    ) -> float:
+        """Run the loop and return the final simulation time.
+
+        Parameters
+        ----------
+        duration:
+            Wall-clock horizon in simulated seconds (from *now*, so a
+            second ``run`` continues where the first stopped).
+        until:
+            Stop predicate evaluated after every tick; the run ends on
+            the first tick where it returns ``True``.
+        max_ticks:
+            Hard tick budget — a guard against accidentally unbounded
+            runs when ``until`` never fires.
+
+        Raises
+        ------
+        ConfigurationError
+            If no stopping criterion at all was provided.
+        SimulationError
+            If ``max_ticks`` elapses before ``duration``/``until``
+            stop the run (indicating a stuck stop predicate), or on
+            re-entrant ``run`` calls.
+        """
+        if duration is None and until is None and max_ticks is None:
+            raise ConfigurationError(
+                "run() needs at least one of duration/until/max_ticks"
+            )
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+
+        deadline_tick: Optional[int] = None
+        if duration is not None:
+            if duration < 0:
+                raise ConfigurationError(f"duration must be >= 0, got {duration!r}")
+            deadline_tick = self.clock.ticks + self.clock.ticks_for(duration)
+        budget = max_ticks if max_ticks is not None else None
+
+        self._running = True
+        self._stop_requested = False
+        ticks_done = 0
+        try:
+            while True:
+                if deadline_tick is not None and self.clock.ticks >= deadline_tick:
+                    break
+                if budget is not None and ticks_done >= budget:
+                    if deadline_tick is not None or until is not None:
+                        raise SimulationError(
+                            f"max_ticks={budget} exhausted before the stop "
+                            "condition was reached"
+                        )
+                    break
+                self.step()
+                ticks_done += 1
+                if self._stop_requested:
+                    break
+                if until is not None and until():
+                    break
+        finally:
+            self._running = False
+        return self.clock.now

@@ -1,0 +1,296 @@
+"""Generic lumped-parameter RC thermal networks.
+
+A thermal network is a graph of nodes (thermal masses with heat
+capacity, or fixed-temperature boundaries) joined by links (thermal
+resistances).  The governing equations are the standard electro-thermal
+analogy:
+
+.. math::
+
+    C_i \\frac{dT_i}{dt} = P_i + \\sum_{j \\sim i} \\frac{T_j - T_i}{R_{ij}}
+
+where :math:`P_i` is power injected into node *i* and the sum runs over
+links incident to *i*.  Boundary nodes (``capacitance=None``) hold their
+temperature regardless of flux — they model ambient air or a chilled
+plate.
+
+Link resistances may change between steps (the fan changes the
+convective resistance every tick), so the network re-reads resistances
+each step rather than caching a factorized system.  Integration is
+explicit (forward Euler) with automatic sub-stepping to honour the
+stability bound ``dt < C_i / G_ii``; for the stiff-ish 2-node CPU
+package this costs nothing, and it keeps the integrator exact in
+behaviour for arbitrary user-built networks.
+
+The class also provides :meth:`RCNetwork.steady_state`, a direct linear
+solve for the equilibrium temperatures under constant powers — used by
+calibration code and extensively by the test suite as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..units import require_positive
+
+__all__ = ["ThermalNode", "ThermalLink", "RCNetwork"]
+
+
+@dataclass
+class ThermalNode:
+    """One lump of the thermal network.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the network.
+    capacitance:
+        Heat capacity in J/K, or ``None`` for a fixed-temperature
+        boundary node.
+    temperature:
+        Initial (and, for boundary nodes, held) temperature in °C.
+    """
+
+    name: str
+    capacitance: Optional[float]
+    temperature: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("thermal node name must be non-empty")
+        if self.capacitance is not None:
+            require_positive(self.capacitance, f"capacitance of {self.name!r}")
+
+    @property
+    def is_boundary(self) -> bool:
+        """True when this node holds a fixed temperature."""
+        return self.capacitance is None
+
+
+class ThermalLink:
+    """A thermal resistance between two nodes.
+
+    The resistance may be changed at any time via :attr:`resistance`
+    (e.g. by a convection model reacting to fan speed).
+    """
+
+    __slots__ = ("name", "a", "b", "_resistance")
+
+    def __init__(self, name: str, a: str, b: str, resistance: float) -> None:
+        if a == b:
+            raise ConfigurationError(f"link {name!r} connects {a!r} to itself")
+        self.name = name
+        self.a = a
+        self.b = b
+        self._resistance = require_positive(resistance, f"resistance of {name!r}")
+
+    @property
+    def resistance(self) -> float:
+        """Thermal resistance in K/W."""
+        return self._resistance
+
+    @resistance.setter
+    def resistance(self, value: float) -> None:
+        self._resistance = require_positive(value, f"resistance of {self.name!r}")
+
+    @property
+    def conductance(self) -> float:
+        """Thermal conductance in W/K (reciprocal resistance)."""
+        return 1.0 / self._resistance
+
+
+class RCNetwork:
+    """A mutable lumped RC thermal network with an explicit integrator.
+
+    Typical usage::
+
+        net = RCNetwork()
+        net.add_node(ThermalNode("die", capacitance=8.0, temperature=30.0))
+        net.add_node(ThermalNode("ambient", capacitance=None, temperature=25.0))
+        net.add_link(ThermalLink("conv", "die", "ambient", resistance=0.5))
+        net.set_power("die", 40.0)
+        net.step(0.05)
+        net.temperature("die")
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, ThermalNode] = {}
+        self._links: Dict[str, ThermalLink] = {}
+        self._order: List[str] = []
+        self._powers: Dict[str, float] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_node(self, node: ThermalNode) -> ThermalNode:
+        """Add a node; names must be unique."""
+        if node.name in self._nodes:
+            raise ConfigurationError(f"duplicate thermal node {node.name!r}")
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        self._powers[node.name] = 0.0
+        return node
+
+    def add_link(self, link: ThermalLink) -> ThermalLink:
+        """Add a link; both endpoints must already exist."""
+        for endpoint in (link.a, link.b):
+            if endpoint not in self._nodes:
+                raise ConfigurationError(
+                    f"link {link.name!r} references unknown node {endpoint!r}"
+                )
+        if link.name in self._links:
+            raise ConfigurationError(f"duplicate thermal link {link.name!r}")
+        self._links[link.name] = link
+        return link
+
+    def node(self, name: str) -> ThermalNode:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no thermal node named {name!r}; have {sorted(self._nodes)}"
+            ) from None
+
+    def link(self, name: str) -> ThermalLink:
+        """Look up a link by name."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no thermal link named {name!r}; have {sorted(self._links)}"
+            ) from None
+
+    @property
+    def node_names(self) -> List[str]:
+        """Node names in insertion order."""
+        return list(self._order)
+
+    # -- state -------------------------------------------------------------
+
+    def set_power(self, name: str, watts: float) -> None:
+        """Set the power injected into node ``name`` (W, may be negative)."""
+        if name not in self._nodes:
+            raise ConfigurationError(f"no thermal node named {name!r}")
+        if np.isnan(watts):
+            raise ConfigurationError(f"power into {name!r} is NaN")
+        self._powers[name] = float(watts)
+
+    def power(self, name: str) -> float:
+        """Current power injection into ``name`` in watts."""
+        return self._powers[self.node(name).name]
+
+    def temperature(self, name: str) -> float:
+        """Current temperature of node ``name`` in °C."""
+        return self.node(name).temperature
+
+    def set_temperature(self, name: str, celsius: float) -> None:
+        """Force a node's temperature (initial conditions, boundary drive)."""
+        self.node(name).temperature = float(celsius)
+
+    def temperatures(self) -> Dict[str, float]:
+        """Mapping of node name to current temperature."""
+        return {n: self._nodes[n].temperature for n in self._order}
+
+    # -- dynamics ------------------------------------------------------------
+
+    def _assemble(self) -> tuple:
+        """Build (free names, conductance matrix G, forcing vector b, caps C).
+
+        For free (non-boundary) nodes the ODE is
+        ``C dT/dt = -G T + b`` with ``b`` collecting injected power and
+        flux from boundary nodes.
+        """
+        free = [n for n in self._order if not self._nodes[n].is_boundary]
+        index = {n: i for i, n in enumerate(free)}
+        m = len(free)
+        G = np.zeros((m, m), dtype=np.float64)
+        b = np.array([self._powers[n] for n in free], dtype=np.float64)
+        for link in self._links.values():
+            g = link.conductance
+            a_free = link.a in index
+            b_free = link.b in index
+            if a_free:
+                i = index[link.a]
+                G[i, i] += g
+                if b_free:
+                    G[i, index[link.b]] -= g
+                else:
+                    b[i] += g * self._nodes[link.b].temperature
+            if b_free:
+                j = index[link.b]
+                G[j, j] += g
+                if a_free:
+                    G[j, index[link.a]] -= g
+                else:
+                    b[j] += g * self._nodes[link.a].temperature
+        C = np.array([self._nodes[n].capacitance for n in free], dtype=np.float64)
+        return free, G, b, C
+
+    def step(self, dt: float) -> None:
+        """Advance all free node temperatures by ``dt`` seconds.
+
+        Uses forward Euler with automatic sub-stepping: the sub-step is
+        chosen as half the stability limit ``min_i C_i / G_ii``, so the
+        integration is stable for any (positive-resistance) network.
+        """
+        require_positive(dt, "dt")
+        free, G, b, C = self._assemble()
+        if not free:
+            return
+        diag = np.diag(G)
+        with np.errstate(divide="ignore"):
+            limits = np.where(diag > 0, C / np.maximum(diag, 1e-300), np.inf)
+        h_max = 0.5 * float(np.min(limits))
+        if not np.isfinite(h_max) or h_max <= 0:
+            h_max = dt
+        n_sub = max(1, int(np.ceil(dt / h_max)))
+        h = dt / n_sub
+        T = np.array([self._nodes[n].temperature for n in free], dtype=np.float64)
+        for _ in range(n_sub):
+            dTdt = (b - G @ T) / C
+            T += h * dTdt
+        if not np.all(np.isfinite(T)):
+            raise SimulationError("thermal integration diverged (non-finite T)")
+        for name, temp in zip(free, T):
+            self._nodes[name].temperature = float(temp)
+
+    def steady_state(self) -> Dict[str, float]:
+        """Equilibrium temperatures under the current powers/resistances.
+
+        Solves ``G T = b`` directly.  Boundary nodes keep their held
+        temperature.  Raises :class:`SimulationError` if the network has
+        a free node with no path to any boundary (singular system).
+        """
+        free, G, b, _ = self._assemble()
+        out = {
+            n: self._nodes[n].temperature
+            for n in self._order
+            if self._nodes[n].is_boundary
+        }
+        if free:
+            try:
+                T = np.linalg.solve(G, b)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    "steady state is singular: some free node has no "
+                    "path to a boundary node"
+                ) from exc
+            out.update({n: float(t) for n, t in zip(free, T)})
+        return out
+
+    def total_stored_energy(self, reference: float = 0.0) -> float:
+        """Thermal energy stored relative to ``reference`` °C, in joules.
+
+        Useful for conservation checks in tests: with no injected power
+        and adiabatic (boundary-free) networks this is invariant.
+        """
+        total = 0.0
+        for name in self._order:
+            node = self._nodes[name]
+            if node.capacitance is not None:
+                total += node.capacitance * (node.temperature - reference)
+        return total

@@ -1,0 +1,154 @@
+"""Trace-driven workloads.
+
+:class:`UtilizationTrace` replays a recorded utilization time series —
+the escape hatch for users who have real node telemetry (sar, collectl,
+IPMI SDR dumps) and want to evaluate the controllers against it.  The
+trace is a step function: each sample holds until the next timestamp.
+
+Traces load from two-column CSV via :meth:`UtilizationTrace.from_csv`
+(the inverse of :func:`repro.analysis.export.export_trace_csv`).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import clamp
+from .base import Job, RankProgram, Segment
+from .synthetic import _ProfileSegment
+
+__all__ = ["UtilizationTrace", "TraceRank"]
+
+
+class UtilizationTrace:
+    """An immutable (times, utilizations) step-function trace.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times, seconds, starting at >= 0.
+    utilizations:
+        Utilization at each time, each in [0, 1]; holds until the next
+        sample.
+    """
+
+    def __init__(self, times: Sequence[float], utilizations: Sequence[float]) -> None:
+        t = np.asarray(times, dtype=np.float64)
+        u = np.asarray(utilizations, dtype=np.float64)
+        if t.ndim != 1 or u.ndim != 1 or t.size != u.size:
+            raise ConfigurationError(
+                "times and utilizations must be 1-D and the same length"
+            )
+        if t.size < 1:
+            raise ConfigurationError("trace must have at least one sample")
+        if t[0] < 0 or np.any(np.diff(t) <= 0):
+            raise ConfigurationError("times must be non-negative and increasing")
+        if np.any((u < 0) | (u > 1)):
+            raise ConfigurationError("utilizations must lie in [0, 1]")
+        self._t = t
+        self._u = u
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: Union[str, Path],
+        time_column: int = 0,
+        util_column: int = 1,
+        normalize_percent: bool = False,
+    ) -> "UtilizationTrace":
+        """Load a trace from a CSV file.
+
+        Parameters
+        ----------
+        path:
+            The CSV file.  A header row is skipped automatically when
+            its cells do not parse as numbers.
+        time_column / util_column:
+            Zero-based column indices.
+        normalize_percent:
+            When True, utilization values are divided by 100 (for
+            sar-style percentage dumps).
+
+        Raises
+        ------
+        ConfigurationError
+            On empty files or rows with missing/unparseable cells.
+        """
+        times = []
+        utils = []
+        with Path(path).open(newline="") as handle:
+            for row_index, row in enumerate(csv.reader(handle)):
+                if not row:
+                    continue
+                try:
+                    t = float(row[time_column])
+                    u = float(row[util_column])
+                except (ValueError, IndexError):
+                    if row_index == 0:
+                        continue  # header row
+                    raise ConfigurationError(
+                        f"{path}: unparseable row {row_index}: {row!r}"
+                    ) from None
+                times.append(t)
+                utils.append(u / 100.0 if normalize_percent else u)
+        if not times:
+            raise ConfigurationError(f"{path}: no samples found")
+        return cls(times, utils)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last sample, seconds."""
+        return float(self._t[-1])
+
+    def utilization_at(self, t: float) -> float:
+        """The step-function value at time ``t`` (clamps outside the span)."""
+        idx = int(np.searchsorted(self._t, t, side="right")) - 1
+        idx = max(0, min(idx, self._u.size - 1))
+        return float(self._u[idx])
+
+    def __len__(self) -> int:
+        return int(self._t.size)
+
+
+class TraceRank:
+    """Single-rank job replaying a :class:`UtilizationTrace`.
+
+    Parameters
+    ----------
+    trace:
+        The recorded utilization series.
+    name:
+        Job name.
+    tail:
+        Seconds to keep replaying the final sample past the trace end
+        (lets the thermal state settle before the job reports finished).
+    """
+
+    def __init__(
+        self, trace: UtilizationTrace, name: str = "trace", tail: float = 0.0
+    ) -> None:
+        self.trace = trace
+        self.name = name
+        if tail < 0:
+            raise ConfigurationError(f"tail must be >= 0, got {tail!r}")
+        self.tail = tail
+
+    def build(self) -> Job:
+        """Construct the single-rank job."""
+        duration = self.trace.duration + self.tail
+        if duration <= 0:
+            # A single-sample trace at t=0 with no tail: hold 1 second.
+            duration = 1.0
+
+        def fn(t: float) -> float:
+            return clamp(self.trace.utilization_at(t), 0.0, 1.0)
+
+        def segments() -> Iterator[Segment]:
+            yield _ProfileSegment(fn, duration)
+
+        return Job([RankProgram(segments(), name=self.name)], name=self.name)

@@ -1,0 +1,87 @@
+"""CSV/JSON export of run artifacts."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_run, export_trace_csv
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.workloads.base import ComputeSegment, Job, RankProgram
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    cluster = Cluster(ClusterConfig(n_nodes=2, seed=42))
+    ranks = [
+        RankProgram([ComputeSegment(2.4e9 * 3)], name=f"r{i}") for i in range(2)
+    ]
+    return cluster.run_job(Job(ranks, name="export-test"))
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace("temp")
+        trace.append(0.0, 40.0)
+        trace.append(0.25, 40.5)
+        path = export_trace_csv(trace, tmp_path / "temp.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time_s", "temp"]
+        assert float(rows[1][1]) == pytest.approx(40.0)
+        assert float(rows[2][0]) == pytest.approx(0.25)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        trace = Trace("t")
+        trace.append(0.0, 1.0)
+        path = export_trace_csv(trace, tmp_path / "a" / "b" / "t.csv")
+        assert path.exists()
+
+    def test_empty_trace(self, tmp_path):
+        path = export_trace_csv(Trace("t"), tmp_path / "t.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["time_s", "t"]]
+
+
+class TestExportRun:
+    def test_all_artifacts_written(self, finished_run, tmp_path):
+        written = export_run(finished_run, tmp_path / "run")
+        assert written["summary"].exists()
+        assert written["events"].exists()
+        assert written["node0.temp"].exists()
+        assert written["node1.power"].exists()
+
+    def test_summary_contents(self, finished_run, tmp_path):
+        written = export_run(finished_run, tmp_path / "run")
+        summary = json.loads(written["summary"].read_text())
+        assert summary["job"] == "export-test"
+        assert summary["execution_time_s"] == pytest.approx(
+            finished_run.execution_time
+        )
+        assert "node0" in summary["nodes"]
+        node0 = summary["nodes"]["node0"]
+        assert node0["average_power_w"] == pytest.approx(
+            finished_run.average_power[0]
+        )
+        assert node0["residency"]["2.4"] == pytest.approx(1.0)
+
+    def test_trace_subset(self, finished_run, tmp_path):
+        written = export_run(
+            finished_run, tmp_path / "run", traces=["node0.temp"]
+        )
+        assert "node0.temp" in written
+        assert "node1.temp" not in written
+
+    def test_unknown_trace_rejected(self, finished_run, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_run(finished_run, tmp_path / "run", traces=["nope"])
+
+    def test_csv_parseable_lengths(self, finished_run, tmp_path):
+        written = export_run(finished_run, tmp_path / "run")
+        with written["node0.temp"].open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) - 1 == len(finished_run.traces["node0.temp"])

@@ -1,0 +1,81 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_chart import GLYPHS, ascii_chart
+from repro.errors import ConfigurationError
+
+
+def ramp(n=50, lo=0.0, hi=10.0):
+    t = np.linspace(0, 100, n)
+    v = np.linspace(lo, hi, n)
+    return t, v
+
+
+class TestValidation:
+    def test_needs_curves(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ramp()}, width=4, height=2)
+
+    def test_too_many_curves(self):
+        curves = {f"c{i}": ramp() for i in range(len(GLYPHS) + 1)}
+        with pytest.raises(ConfigurationError):
+            ascii_chart(curves)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ([], [])})
+
+    def test_ragged_curve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ([0.0, 1.0], [1.0])})
+
+
+class TestRendering:
+    def test_dimensions(self):
+        text = ascii_chart({"a": ramp()}, width=40, height=10)
+        lines = text.splitlines()
+        # height rows + axis + x labels + legend
+        assert len(lines) == 13
+        plot_rows = lines[:10]
+        assert all(len(row) == 8 + 1 + 40 for row in plot_rows)
+
+    def test_y_labels_bound_the_data(self):
+        text = ascii_chart({"a": ramp(lo=20.0, hi=60.0)})
+        top = float(text.splitlines()[0].split("|")[0])
+        bottom = float(text.splitlines()[15].split("|")[0])
+        assert top > 60.0
+        assert bottom < 20.0
+
+    def test_rising_curve_moves_up(self):
+        text = ascii_chart({"a": ramp()}, width=40, height=10)
+        rows = text.splitlines()[:10]
+        first_col_row = next(i for i, row in enumerate(rows) if "*" in row[9:15])
+        last_col_row = next(
+            i for i, row in enumerate(rows) if "*" in row[-6:]
+        )
+        assert last_col_row < first_col_row  # up = smaller row index
+
+    def test_legend_and_glyphs(self):
+        t, v = ramp()
+        text = ascii_chart(
+            {"alpha": (t, v), "beta": (t, v + 1)}, y_label="degC"
+        )
+        assert "*=alpha" in text
+        assert "o=beta" in text
+        assert "[degC]" in text
+
+    def test_constant_curve_renders(self):
+        t = np.linspace(0, 10, 20)
+        v = np.full(20, 5.0)
+        text = ascii_chart({"flat": (t, v)})
+        assert "*" in text
+
+    def test_flat_time_axis_handled(self):
+        text = ascii_chart({"a": ([0.0], [5.0])})
+        assert "*" in text

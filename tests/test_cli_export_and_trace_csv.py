@@ -1,0 +1,118 @@
+"""CLI --export and UtilizationTrace.from_csv round trips."""
+
+import json
+
+import pytest
+
+from repro.cli import main, to_jsonable
+from repro.errors import ConfigurationError
+from repro.workloads.traces import UtilizationTrace
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.5)) == {"x": 1, "y": 2.5}
+
+    def test_enum_values(self):
+        from repro.core.classify import ThermalBehavior
+
+        assert to_jsonable(ThermalBehavior.SUDDEN) == "sudden"
+
+    def test_enum_dict_keys(self):
+        from repro.core.classify import ThermalBehavior
+
+        data = {ThermalBehavior.JITTER: 0.25}
+        assert to_jsonable(data) == {"jitter": 0.25}
+
+    def test_nested_structures(self):
+        data = {"rows": [(1, 2.0), (3, 4.0)], "none": None}
+        out = to_jsonable(data)
+        assert out == {"rows": [[1, 2.0], [3, 4.0]], "none": None}
+        json.dumps(out)  # must be serializable
+
+    def test_exotic_falls_back_to_str(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert to_jsonable(Weird()) == "weird"
+
+
+class TestCliExport:
+    def test_export_writes_txt_and_json(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["run", "fig2", "--quick", "--export", str(out)]) == 0
+        capsys.readouterr()
+        txt = out / "fig2.txt"
+        js = out / "fig2.json"
+        assert txt.exists() and js.exists()
+        assert "Figure 2" in txt.read_text()
+        payload = json.loads(js.read_text())
+        assert payload["experiment"] == "fig2"
+        assert payload["quick"] is True
+        assert "result" in payload
+        # the fractions dict came through with string keys
+        assert "sudden" in payload["result"]["fractions"]
+
+    def test_no_export_writes_nothing(self, tmp_path, capsys):
+        main(["run", "fig2", "--quick"])
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTraceFromCsv:
+    def write(self, tmp_path, text):
+        path = tmp_path / "trace.csv"
+        path.write_text(text)
+        return path
+
+    def test_basic_roundtrip(self, tmp_path):
+        path = self.write(tmp_path, "0.0,0.2\n1.0,0.8\n2.0,0.5\n")
+        trace = UtilizationTrace.from_csv(path)
+        assert len(trace) == 3
+        assert trace.utilization_at(1.5) == pytest.approx(0.8)
+
+    def test_header_skipped(self, tmp_path):
+        path = self.write(tmp_path, "time_s,util\n0.0,0.2\n1.0,0.8\n")
+        trace = UtilizationTrace.from_csv(path)
+        assert len(trace) == 2
+
+    def test_percent_normalization(self, tmp_path):
+        path = self.write(tmp_path, "0.0,20\n1.0,85\n")
+        trace = UtilizationTrace.from_csv(path, normalize_percent=True)
+        assert trace.utilization_at(0.0) == pytest.approx(0.20)
+
+    def test_custom_columns(self, tmp_path):
+        path = self.write(tmp_path, "x,0.0,0.3\nx,1.0,0.6\n")
+        trace = UtilizationTrace.from_csv(path, time_column=1, util_column=2)
+        assert trace.utilization_at(1.0) == pytest.approx(0.6)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(ConfigurationError):
+            UtilizationTrace.from_csv(path)
+
+    def test_bad_mid_file_row_rejected(self, tmp_path):
+        path = self.write(tmp_path, "0.0,0.2\nbroken\n")
+        with pytest.raises(ConfigurationError):
+            UtilizationTrace.from_csv(path)
+
+    def test_export_import_roundtrip(self, tmp_path):
+        """A trace exported by analysis.export loads back identically."""
+        from repro.analysis.export import export_trace_csv
+        from repro.sim.trace import Trace
+
+        trace = Trace("util")
+        for i, u in enumerate([0.1, 0.5, 0.9, 0.4]):
+            trace.append(i * 1.0, u)
+        path = export_trace_csv(trace, tmp_path / "u.csv")
+        loaded = UtilizationTrace.from_csv(path)
+        assert len(loaded) == 4
+        assert loaded.utilization_at(2.0) == pytest.approx(0.9)

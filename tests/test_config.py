@@ -1,0 +1,74 @@
+"""Platform configuration objects."""
+
+import pytest
+
+from repro.config import ClusterConfig, NodeConfig
+from repro.errors import ConfigurationError
+from repro.fan.motor import MotorParams
+from repro.thermal.sensor import SensorParams
+
+
+class TestNodeConfig:
+    def test_defaults_describe_the_paper_platform(self):
+        cfg = NodeConfig()
+        assert cfg.pstates.frequencies_ghz() == pytest.approx(
+            [2.4, 2.2, 2.0, 1.8, 1.0]
+        )
+        assert cfg.motor.rpm_max == 4300.0
+        assert cfg.fan_chip.t_min == 38.0
+        assert cfg.fan_chip.t_range == 44.0
+        assert cfg.fan_chip.pwm_min_duty == pytest.approx(0.10)
+        assert cfg.sensor_period == 0.25  # 4 Hz
+
+    def test_with_replaces_fields(self):
+        cfg = NodeConfig().with_(baseboard_power=10.0)
+        assert cfg.baseboard_power == 10.0
+        assert cfg.ambient_celsius == NodeConfig().ambient_celsius
+
+    def test_rpm_consistency_enforced(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(motor=MotorParams(rpm_max=3000.0))
+
+    def test_negative_baseboard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(baseboard_power=-1.0)
+
+    def test_protection_thresholds_validated(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(prochot_temp=99.0, shutdown_temp=97.0)
+
+    def test_sensor_params_flow_through(self):
+        cfg = NodeConfig(sensor=SensorParams(noise_sigma=0.0, quantum=1.0))
+        assert cfg.sensor.quantum == 1.0
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NodeConfig().baseboard_power = 5.0  # type: ignore[misc]
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cfg = ClusterConfig()
+        assert cfg.n_nodes == 4  # the paper's testbed
+        assert cfg.dt == 0.05
+
+    def test_with_(self):
+        cfg = ClusterConfig().with_(n_nodes=8)
+        assert cfg.n_nodes == 8
+
+    def test_node_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_nodes=0)
+
+    def test_dt_must_not_exceed_sensor_period(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(dt=0.5)
+
+    def test_dt_equal_to_sensor_period_ok(self):
+        ClusterConfig(dt=0.25)
+
+    def test_custom_node_config_carried(self):
+        node_cfg = NodeConfig(ambient_celsius=22.0)
+        assert ClusterConfig(node=node_cfg).node.ambient_celsius == 22.0

@@ -1,0 +1,100 @@
+"""Thermal behaviour classification (§3.1 taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import (
+    ClassifierThresholds,
+    ThermalBehavior,
+    classify_profile,
+    classify_trace,
+)
+from repro.errors import ConfigurationError
+
+
+def series(values, rate=4.0):
+    times = np.arange(len(values)) / rate
+    return times, np.asarray(values, dtype=float)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            classify_trace([0.0, 1.0], [50.0])
+
+    def test_thresholds_positive(self):
+        with pytest.raises(ConfigurationError):
+            ClassifierThresholds(sudden_delta=0.0)
+
+
+class TestLabels:
+    def test_flat_is_steady(self):
+        t, v = series([50.0] * 40)
+        labels = classify_trace(t, v)
+        assert labels
+        assert all(lab == ThermalBehavior.STEADY for _, lab in labels)
+
+    def test_step_is_sudden(self):
+        # step lands mid-round so the half-sum difference sees it
+        t, v = series([50.0] * 6 + [55.0] * 10)
+        labels = classify_trace(t, v)
+        kinds = [lab for _, lab in labels]
+        assert ThermalBehavior.SUDDEN in kinds
+
+    def test_slow_ramp_is_gradual(self):
+        # 0.05 K/sample: invisible to L1 (delta 0.2/round), visible to
+        # L2 after 5 rounds (delta 1.0)
+        t, v = series([50.0 + 0.05 * i for i in range(80)])
+        labels = classify_trace(t, v)
+        kinds = [lab for _, lab in labels]
+        assert ThermalBehavior.GRADUAL in kinds
+        assert ThermalBehavior.SUDDEN not in kinds
+
+    def test_oscillation_is_jitter(self):
+        # +-0.6 alternating within each round: half-sums cancel, spread
+        # is large, no trend
+        pattern = [50.6, 49.4, 50.6, 49.4]
+        t, v = series(pattern * 12)
+        labels = classify_trace(t, v)
+        kinds = [lab for _, lab in labels]
+        assert ThermalBehavior.JITTER in kinds
+        assert ThermalBehavior.SUDDEN not in kinds
+
+    def test_label_times_align_with_rounds(self):
+        t, v = series([50.0] * 16)
+        labels = classify_trace(t, v)
+        # rounds complete on every 4th sample
+        times = [lt for lt, _ in labels]
+        assert times == pytest.approx([0.75, 1.75, 2.75, 3.75])
+
+    def test_custom_thresholds(self):
+        t, v = series([50.0] * 6 + [50.8] * 10)
+        sensitive = classify_trace(
+            t, v, thresholds=ClassifierThresholds(sudden_delta=0.5)
+        )
+        lax = classify_trace(
+            t, v, thresholds=ClassifierThresholds(sudden_delta=5.0)
+        )
+        assert any(lab == ThermalBehavior.SUDDEN for _, lab in sensitive)
+        assert all(lab != ThermalBehavior.SUDDEN for _, lab in lax)
+
+
+class TestProfileSummary:
+    def test_fractions_sum_to_one(self):
+        t, v = series([50.0 + 0.05 * i for i in range(100)])
+        fractions = classify_profile(t, v)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        fractions = classify_profile([], [])
+        assert all(f == 0.0 for f in fractions.values())
+
+    def test_too_short_for_a_round(self):
+        t, v = series([50.0, 50.0])
+        fractions = classify_profile(t, v)
+        assert all(f == 0.0 for f in fractions.values())
+
+    def test_steady_dominates_flat(self):
+        t, v = series([50.0] * 100)
+        fractions = classify_profile(t, v)
+        assert fractions[ThermalBehavior.STEADY] == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Target mode identification: i' = i + c·Δt with the L1-first rule."""
+
+import pytest
+
+from repro.core.control_array import ThermalControlArray
+from repro.core.mode_select import ModeSelector
+from repro.core.policy import Policy
+
+MODES = tuple(range(10))
+
+
+def selector(pp=50, size=100, l2=True) -> ModeSelector:
+    arr = ThermalControlArray(MODES, Policy(pp=pp), size=size)
+    return ModeSelector(arr, l2_when_l1_silent=l2)
+
+
+class TestScaleCoefficient:
+    def test_c_formula(self):
+        sel = selector(size=100)
+        assert sel.c == pytest.approx(99.0 / 44.0)
+
+    def test_c_scales_with_array_size(self):
+        small = ModeSelector(
+            ThermalControlArray(MODES, Policy(), size=10)
+        )
+        assert small.c == pytest.approx(9.0 / 44.0)
+
+
+class TestLevelOnePath:
+    def test_positive_delta_moves_up(self):
+        sel = selector()
+        result = sel.select(10, delta_l1=2.0, delta_l2=None)
+        assert result.source == "l1"
+        assert result.slot == 10 + round(sel.c * 2.0)
+
+    def test_negative_delta_moves_down(self):
+        sel = selector()
+        result = sel.select(50, delta_l1=-2.0, delta_l2=None)
+        assert result.slot == 50 + round(sel.c * -2.0)
+        assert result.slot < 50
+
+    def test_clamped_at_top(self):
+        sel = selector()
+        result = sel.select(98, delta_l1=10.0, delta_l2=None)
+        assert result.slot == 99
+
+    def test_clamped_at_bottom(self):
+        sel = selector()
+        result = sel.select(1, delta_l1=-10.0, delta_l2=None)
+        assert result.slot == 0
+
+    def test_tiny_delta_holds(self):
+        sel = selector()
+        result = sel.select(10, delta_l1=0.05, delta_l2=None)
+        assert result.slot == 10
+        assert result.source == "hold"
+
+
+class TestLevelTwoFallback:
+    def test_l2_consulted_only_when_l1_silent(self):
+        sel = selector()
+        # L1 silent (rounds to zero), L2 strong
+        result = sel.select(10, delta_l1=0.1, delta_l2=3.0)
+        assert result.source == "l2"
+        assert result.slot == 10 + round(sel.c * 3.0)
+
+    def test_l1_wins_when_both_active(self):
+        sel = selector()
+        result = sel.select(10, delta_l1=2.0, delta_l2=-5.0)
+        assert result.source == "l1"
+        assert result.slot > 10
+
+    def test_l2_none_means_hold(self):
+        sel = selector()
+        result = sel.select(10, delta_l1=0.0, delta_l2=None)
+        assert result.source == "hold"
+
+    def test_l2_disabled_by_flag(self):
+        sel = selector(l2=False)
+        result = sel.select(10, delta_l1=0.0, delta_l2=5.0)
+        assert result.source == "hold"
+        assert result.slot == 10
+
+    def test_l2_negative_tracks_cooling(self):
+        sel = selector()
+        result = sel.select(50, delta_l1=0.0, delta_l2=-2.0)
+        assert result.slot < 50
+
+    def test_clamped_l1_that_cannot_move_falls_to_l2(self):
+        sel = selector()
+        # at the very top a positive L1 delta cannot increase the slot;
+        # a negative L2 may then take over
+        result = sel.select(99, delta_l1=0.5, delta_l2=-3.0)
+        assert result.source == "l2"
+        assert result.slot < 99
+
+
+class TestScaleSemantics:
+    def test_full_band_swing_traverses_whole_array(self):
+        """A Δt equal to the entire safe band maps onto the whole
+        array — the paper's rationale for c."""
+        sel = selector()
+        result = sel.select(0, delta_l1=44.0, delta_l2=None)
+        assert result.slot == 99
+
+    def test_rounding(self):
+        sel = selector()
+        # c ~ 2.25: delta 0.2 -> 0.45 -> rounds to 0
+        assert sel.select(10, 0.2, None).slot == 10
+        # delta 0.3 -> 0.675 -> rounds to 1
+        assert sel.select(10, 0.3, None).slot == 11

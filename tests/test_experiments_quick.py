@@ -1,0 +1,140 @@
+"""Smoke tests: every experiment module runs in quick mode and returns
+a well-formed result with a renderable table."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    ablation,
+    emergency,
+    fig02_thermal_types,
+    fig05_fan_pp,
+    fig06_fan_comparison,
+    fig07_max_pwm,
+    fig08_tdvfs_static_fan,
+    fig09_tdvfs_vs_cpuspeed,
+    fig10_hybrid,
+    scaling,
+    table1_tdvfs_cpuspeed,
+    workload_suite,
+)
+
+SEED = 7
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(REGISTRY) == {
+            "fig2",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table1",
+            "fig10",
+            "scaling",
+            "ablation",
+            "emergency",
+            "suite",
+            "robustness",
+        }
+
+    def test_registry_modules_have_run_and_render(self):
+        for module, _ in REGISTRY.values():
+            assert callable(module.run)
+            assert callable(module.render)
+
+
+class TestQuickRuns:
+    def test_fig2(self):
+        result = fig02_thermal_types.run(seed=SEED, quick=True)
+        assert result.labels
+        assert sum(result.fractions.values()) == pytest.approx(1.0)
+        assert "Figure 2" in fig02_thermal_types.render(result)
+
+    def test_fig5(self):
+        result = fig05_fan_pp.run(seed=SEED, quick=True)
+        assert [r.pp for r in result.rows] == [75, 50, 25]
+        assert "Figure 5" in fig05_fan_pp.render(result)
+
+    def test_fig6(self):
+        result = fig06_fan_comparison.run(seed=SEED, quick=True)
+        assert {r.policy for r in result.rows} == {
+            "traditional",
+            "dynamic",
+            "constant",
+        }
+        assert "Figure 6" in fig06_fan_comparison.render(result)
+
+    def test_fig7(self):
+        result = fig07_max_pwm.run(seed=SEED, quick=True)
+        assert [r.max_duty for r in result.rows] == [0.25, 0.50, 0.75, 1.00]
+        assert "Figure 7" in fig07_max_pwm.render(result)
+
+    def test_fig8(self):
+        result = fig08_tdvfs_static_fan.run(seed=SEED, quick=True)
+        assert result.execution_time > 0
+        assert "Figure 8" in fig08_tdvfs_static_fan.render(result)
+
+    def test_fig9(self):
+        result = fig09_tdvfs_vs_cpuspeed.run(seed=SEED, quick=True)
+        assert {r.daemon for r in result.rows} == {"cpuspeed", "tdvfs"}
+        assert "Figure 9" in fig09_tdvfs_vs_cpuspeed.render(result)
+
+    def test_table1(self):
+        result = table1_tdvfs_cpuspeed.run(seed=SEED, quick=True)
+        assert len(result.cells) == 6
+        assert "Table 1" in table1_tdvfs_cpuspeed.render(result)
+
+    def test_fig10(self):
+        result = fig10_hybrid.run(seed=SEED, quick=True)
+        assert [r.pp for r in result.rows] == [25, 50, 75]
+        assert "Figure 10" in fig10_hybrid.render(result)
+
+    def test_scaling(self):
+        result = scaling.run(seed=SEED, quick=True)
+        assert [r.n_nodes for r in result.rows] == [4, 8]
+        assert "Scaling" in scaling.render(result)
+
+    def test_ablation(self):
+        result = ablation.run(seed=SEED, quick=True)
+        assert len(result.window_rows) == 4
+        assert len(result.l2_rows) == 2
+        assert len(result.escalation_rows) == 2
+        assert len(result.split_rows) == 3
+        text = ablation.render(result)
+        assert "Ablation A" in text
+        assert "Ablation C" in text
+        assert "Ablation D" in text
+
+    def test_emergency(self):
+        result = emergency.run(seed=SEED, quick=True)
+        assert {r.strategy for r in result.rows} == {
+            "stock",
+            "ondemand",
+            "cpuspeed",
+            "unified",
+        }
+        assert "emergency" in emergency.render(result).lower()
+
+    def test_workload_suite(self):
+        result = workload_suite.run(seed=SEED, quick=True)
+        assert {r.workload for r in result.rows} == {
+            "EP.B.4",
+            "BT.B.4",
+            "MG.B.4",
+            "CG.B.4",
+        }
+        assert "suite" in workload_suite.render(result).lower()
+
+    def test_custom_seed_changes_results(self):
+        a = fig02_thermal_types.run(seed=1, quick=True)
+        b = fig02_thermal_types.run(seed=2, quick=True)
+        assert a.temp_range != b.temp_range
+
+    def test_same_seed_reproduces(self):
+        a = fig09_tdvfs_vs_cpuspeed.run(seed=5, quick=True)
+        b = fig09_tdvfs_vs_cpuspeed.run(seed=5, quick=True)
+        assert a.row("tdvfs").end_temp == b.row("tdvfs").end_temp
+        assert a.row("cpuspeed").freq_changes == b.row("cpuspeed").freq_changes

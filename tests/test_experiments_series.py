@@ -1,0 +1,84 @@
+"""Figure-series regeneration (quick mode) and the series CLI."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.series import (
+    SERIES_REGISTRY,
+    fig02_series,
+    fig05_series,
+    fig09_series,
+)
+
+SEED = 7
+
+
+class TestSeriesFunctions:
+    def test_registry_covers_curve_figures(self):
+        assert set(SERIES_REGISTRY) == {
+            "fig2",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig10",
+        }
+
+    def test_fig2_single_curve(self):
+        curves = fig02_series(seed=SEED, quick=True)
+        assert set(curves) == {"temperature"}
+        times, values = curves["temperature"]
+        assert len(times) == len(values) > 100
+        assert np.all(np.diff(times) > 0)
+
+    def test_fig5_six_curves(self):
+        curves = fig05_series(seed=SEED, quick=True)
+        assert {
+            "temperature.pp75",
+            "temperature.pp50",
+            "temperature.pp25",
+            "pwm_duty.pp75",
+            "pwm_duty.pp50",
+            "pwm_duty.pp25",
+        } == set(curves)
+        _, duty = curves["pwm_duty.pp25"]
+        assert np.all((duty >= 0.0) & (duty <= 1.0))
+
+    def test_fig9_curves_reflect_the_daemons(self):
+        curves = fig09_series(seed=SEED, quick=True)
+        _, freq_cs = curves["frequency_ghz.cpuspeed"]
+        _, freq_td = curves["frequency_ghz.tdvfs"]
+        # CPUSPEED flaps: many distinct frequency values visited
+        assert len(np.unique(freq_cs)) >= 2
+        # tDVFS frequency is piecewise constant with few transitions
+        transitions = int(np.sum(np.diff(freq_td) != 0))
+        assert transitions <= 4
+
+    def test_seed_reproducibility(self):
+        a = fig02_series(seed=3, quick=True)["temperature"]
+        b = fig02_series(seed=3, quick=True)["temperature"]
+        assert np.array_equal(a[1], b[1])
+
+
+class TestSeriesCli:
+    def test_writes_csvs(self, tmp_path, capsys):
+        rc = main(
+            ["series", "fig2", "--quick", "--export", str(tmp_path / "out")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        path = tmp_path / "out" / "fig2.temperature.csv"
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time_s", "temperature"]
+        assert len(rows) > 100
+        float(rows[1][0])  # parseable
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["series", "fig99"])

@@ -1,0 +1,139 @@
+"""Hybrid control and the ACPI sleep-state extension."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core.policy import Policy
+from repro.cpu.core import CpuCore
+from repro.cpu.dvfs import Dvfs
+from repro.cpu.pstate import ATHLON64_4000
+from repro.errors import ConfigurationError, PolicyError
+from repro.governors.acpi_sleep import AcpiSleepControl, SleepStateDevice
+from repro.governors.fan_dynamic import DynamicFanControl
+from repro.governors.hybrid import HybridControl, hybrid_governors
+from repro.governors.tdvfs import TDvfs
+from repro.workloads.base import ComputeSegment, Job, RankProgram
+
+
+def one_node(seed=42) -> Cluster:
+    return Cluster(ClusterConfig(n_nodes=1, seed=seed))
+
+
+def burn_job(seconds=60.0) -> Job:
+    return Job(
+        [RankProgram([ComputeSegment(2.4e9 * seconds)], name="burn")],
+        name="burn",
+    )
+
+
+class TestHybridControl:
+    def make_hybrid(self, cluster, pp_fan=50, pp_dvfs=None):
+        node = cluster.nodes[0]
+        policy_fan = Policy(pp=pp_fan)
+        policy_dvfs = Policy(pp=pp_dvfs if pp_dvfs is not None else pp_fan)
+        fan = DynamicFanControl(
+            node.make_fan_driver(max_duty=0.5), policy_fan, events=cluster.events
+        )
+        tdvfs = TDvfs(node.dvfs, policy_dvfs, events=cluster.events)
+        return HybridControl(fan, tdvfs)
+
+    def test_mismatched_policies_rejected(self):
+        cluster = one_node()
+        with pytest.raises(PolicyError):
+            self.make_hybrid(cluster, pp_fan=25, pp_dvfs=75)
+
+    def test_shared_policy_accepted(self):
+        cluster = one_node()
+        hybrid = self.make_hybrid(cluster, pp_fan=50)
+        assert hybrid.coordinator.techniques == ["fan", "dvfs"]
+
+    def test_samples_reach_both_halves(self):
+        cluster = one_node()
+        hybrid = self.make_hybrid(cluster)
+        hybrid.start(0.0)
+        for i in range(8):
+            hybrid.on_sample(i * 0.25, 50.0)
+        assert hybrid.fan.controller.window.samples == 8
+        assert hybrid.tdvfs.window.samples == 8
+
+    def test_factory_builds_per_node(self):
+        cluster = one_node()
+        hybrid = hybrid_governors(
+            cluster.nodes[0], Policy(pp=50), max_duty=0.5, events=cluster.events
+        )
+        assert isinstance(hybrid, HybridControl)
+        assert hybrid.fan.driver.max_duty == pytest.approx(0.5)
+
+    def test_end_to_end_run(self):
+        cluster = one_node()
+        node = cluster.nodes[0]
+        cluster.add_governor(
+            node, hybrid_governors(node, Policy(pp=50), events=cluster.events)
+        )
+        result = cluster.run_job(burn_job(60.0), timeout=3600)
+        # the fan half must have actuated
+        assert result.traces["node0.duty"].max() > 0.12
+
+
+class TestSleepStateDevice:
+    def test_modes_ascending(self):
+        core = CpuCore(Dvfs(ATHLON64_4000))
+        device = SleepStateDevice(core, levels=8)
+        assert list(device.modes) == pytest.approx(
+            [k / 8 for k in range(8)]
+        )
+
+    def test_apply_throttles_core(self):
+        core = CpuCore(Dvfs(ATHLON64_4000))
+        device = SleepStateDevice(core)
+        device.apply(0.5, t=0.0)
+        assert core.throttle == pytest.approx(0.5)
+
+    def test_current_mode_snaps(self):
+        core = CpuCore(Dvfs(ATHLON64_4000))
+        device = SleepStateDevice(core, levels=8)
+        core.set_throttle(0.13)
+        assert device.current_mode() == pytest.approx(0.125)
+
+    def test_needs_two_levels(self):
+        core = CpuCore(Dvfs(ATHLON64_4000))
+        with pytest.raises(ConfigurationError):
+            SleepStateDevice(core, levels=1)
+
+
+class TestAcpiSleepControl:
+    def test_hot_stream_raises_throttle(self):
+        cluster = one_node()
+        node = cluster.nodes[0]
+        gov = AcpiSleepControl(node.core, Policy(pp=50), events=cluster.events)
+        cluster.add_governor(node, gov)
+        result = cluster.run_job(burn_job(90.0), timeout=3600)
+        # the burner heats the node; the sleep controller must engage
+        assert gov.current_throttle > 0.0
+
+    def test_throttle_reduces_utilization_and_power(self):
+        def run(with_sleep):
+            cluster = one_node()
+            node = cluster.nodes[0]
+            if with_sleep:
+                cluster.add_governor(
+                    node, AcpiSleepControl(node.core, Policy(pp=25))
+                )
+            result = cluster.run_job(burn_job(60.0), timeout=3600)
+            return result
+
+        throttled = run(True)
+        free = run(False)
+        assert throttled.execution_time > free.execution_time
+        assert throttled.average_power[0] < free.average_power[0]
+
+    def test_same_controller_shell_as_fan(self):
+        """The unification claim: the sleep governor is the SAME
+        UnifiedThermalController class, just over a different actuator."""
+        from repro.core.controller import UnifiedThermalController
+
+        cluster = one_node()
+        gov = AcpiSleepControl(cluster.nodes[0].core, Policy(pp=50))
+        assert isinstance(gov.controller, UnifiedThermalController)
+        assert gov.controller.actuator.technique == "sleep"

@@ -1,0 +1,192 @@
+"""IPMI / BMC out-of-band management substrate."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.core.controller import UnifiedThermalController
+from repro.core.policy import Policy
+from repro.errors import ActuatorError, ConfigurationError
+from repro.ipmi.actuator import BmcFanActuator
+from repro.ipmi.bmc import BMC, SENSOR_CPU_TEMP, SENSOR_FAN1, SENSOR_WALL_POWER
+from repro.ipmi.sdr import SensorRecord, SensorType, ThresholdStatus
+from repro.workloads.base import ComputeSegment, RankProgram
+
+
+def run_node(node, seconds, dt=0.05, bmc=None):
+    steps = int(seconds / dt)
+    poll_every = round((bmc.poll_period if bmc else 1.0) / dt)
+    for i in range(1, steps + 1):
+        t = i * dt
+        node.step(t, dt)
+        if bmc is not None and i % poll_every == 0:
+            bmc.poll(t)
+
+
+class TestSensorRecord:
+    def test_status_levels(self):
+        record = SensorRecord(
+            1, "T", SensorType.TEMPERATURE, read=lambda: 0.0,
+            unc=70.0, ucr=85.0, unr=95.0,
+        )
+        assert record.status_of(50.0) == ThresholdStatus.OK
+        assert record.status_of(75.0) == ThresholdStatus.UPPER_NON_CRITICAL
+        assert record.status_of(90.0) == ThresholdStatus.UPPER_CRITICAL
+        assert record.status_of(99.0) == ThresholdStatus.UPPER_NON_RECOVERABLE
+
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            SensorRecord(
+                1, "T", SensorType.TEMPERATURE, read=lambda: 0.0,
+                unc=90.0, ucr=85.0,
+            )
+
+    def test_missing_thresholds_mean_ok(self):
+        record = SensorRecord(2, "FAN", SensorType.FAN, read=lambda: 0.0)
+        assert record.status_of(1e9) == ThresholdStatus.OK
+
+    def test_id_range(self):
+        with pytest.raises(ConfigurationError):
+            SensorRecord(300, "T", SensorType.TEMPERATURE, read=lambda: 0.0)
+
+    def test_severity_ordering(self):
+        assert ThresholdStatus.OK < ThresholdStatus.UPPER_CRITICAL
+
+
+class TestBmcSensors:
+    def test_sensor_list_shape(self):
+        node = Node("n0")
+        bmc = BMC(node)
+        listing = bmc.sensor_list()
+        names = [name for name, *_ in listing]
+        assert names == ["CPU Temp", "FAN1", "System Power"]
+
+    def test_cpu_temp_tracks_package(self):
+        node = Node("n0")
+        bmc = BMC(node)
+        value, status = bmc.get_sensor_reading(SENSOR_CPU_TEMP)
+        assert value == pytest.approx(node.package.die_temperature, abs=0.51)
+        assert status == ThresholdStatus.OK
+
+    def test_fan_sensor(self):
+        node = Node("n0")
+        run_node(node, 2.0)
+        bmc = BMC(node)
+        rpm, _ = bmc.get_sensor_reading(SENSOR_FAN1)
+        assert rpm == pytest.approx(node.fan_rpm)
+
+    def test_power_sensor(self):
+        node = Node("n0")
+        run_node(node, 1.0)
+        bmc = BMC(node)
+        watts, _ = bmc.get_sensor_reading(SENSOR_WALL_POWER)
+        assert watts == pytest.approx(node.wall_power)
+
+    def test_unknown_sensor(self):
+        with pytest.raises(ConfigurationError):
+            BMC(Node("n0")).get_sensor_reading(0x99)
+
+    def test_bad_poll_period(self):
+        with pytest.raises(ConfigurationError):
+            BMC(Node("n0"), poll_period=0.0)
+
+
+class TestSel:
+    def test_threshold_crossing_logged_once(self):
+        node = Node("n0")
+        bmc = BMC(node, cpu_temp_thresholds=(40.0, 50.0, 95.0))
+        node.bind_rank(
+            RankProgram([ComputeSegment(2.4e9 * 600)], name="burn")
+        )
+        run_node(node, 60.0, bmc=bmc)
+        critical = bmc.sel_count(at_least=ThresholdStatus.UPPER_CRITICAL)
+        assert critical >= 1
+        # transitions, not levels: far fewer entries than polls
+        assert len(bmc.sel_entries()) < 10
+
+    def test_no_events_when_cool(self):
+        node = Node("n0")
+        bmc = BMC(node)
+        run_node(node, 10.0, bmc=bmc)
+        assert bmc.sel_entries() == []
+
+    def test_sel_entry_str(self):
+        node = Node("n0")
+        bmc = BMC(node, cpu_temp_thresholds=(10.0, 20.0, 95.0))
+        bmc.poll(1.0)
+        entry = bmc.sel_entries()[0]
+        assert "CPU Temp" in str(entry)
+
+
+class TestFanOverride:
+    def test_override_reaches_motor(self):
+        node = Node("n0")
+        bmc = BMC(node)
+        bmc.set_fan_override(0.8)
+        run_node(node, 10.0)
+        assert node.fan_duty == pytest.approx(0.8, abs=0.01)
+        assert not node.fan_chip.auto_mode
+
+    def test_override_survives_chip_auto_logic(self):
+        """Manual mode means the chip's auto curve must not fight the
+        BMC (the real deadlock ipmitool users know well)."""
+        node = Node("n0")
+        bmc = BMC(node)
+        bmc.set_fan_override(0.9)
+        node.bind_rank(RankProgram([ComputeSegment(2.4e9 * 60)], name="b"))
+        run_node(node, 30.0)
+        assert node.fan_duty == pytest.approx(0.9, abs=0.01)
+
+    def test_override_validation(self):
+        with pytest.raises(ConfigurationError):
+            BMC(Node("n0")).set_fan_override(1.5)
+
+    def test_clear_override(self):
+        node = Node("n0")
+        bmc = BMC(node)
+        bmc.set_fan_override(0.5)
+        bmc.clear_fan_override()
+        assert bmc.fan_override is None
+
+
+class TestBmcFanActuator:
+    def test_modes_ascending(self):
+        actuator = BmcFanActuator(BMC(Node("n0")))
+        modes = list(actuator.modes)
+        assert modes == sorted(modes)
+        assert len(modes) == 100
+
+    def test_takes_control_at_construction(self):
+        bmc = BMC(Node("n0"))
+        BmcFanActuator(bmc)
+        assert bmc.fan_override is not None
+
+    def test_apply_and_readback(self):
+        actuator = BmcFanActuator(BMC(Node("n0")))
+        actuator.apply(0.5, t=0.0)
+        assert actuator.current_mode() == pytest.approx(0.5, abs=0.01)
+
+    def test_cap(self):
+        actuator = BmcFanActuator(BMC(Node("n0")), max_duty=0.25)
+        assert max(actuator.modes) <= 0.25 + 1e-9
+
+    def test_invalid_mode_set(self):
+        with pytest.raises(ActuatorError):
+            BmcFanActuator(BMC(Node("n0")), steps=1)
+
+    def test_unified_controller_over_bmc(self):
+        """The paper's controller running fully out-of-band."""
+        node = Node("n0")
+        bmc = BMC(node)
+        controller = UnifiedThermalController(
+            BmcFanActuator(bmc), Policy(pp=50), name="oob"
+        )
+        node.bind_rank(RankProgram([ComputeSegment(2.4e9 * 600)], name="b"))
+        t = 0.0
+        for i in range(1, int(90.0 / 0.05) + 1):
+            t = i * 0.05
+            node.step(t, 0.05)
+            if i % 5 == 0:  # 4 Hz sampling via the BMC's temp sensor
+                controller.push_sample(t, bmc.cpu_temperature)
+        # the out-of-band loop must have pushed the fan up under load
+        assert node.fan_duty > 0.15
+        assert controller.state.mode_changes >= 1

@@ -1,0 +1,120 @@
+"""Simulation clock and periodic tasks."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.clock import PeriodicTask, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        clock = SimClock(0.05)
+        assert clock.now == 0.0
+        assert clock.ticks == 0
+
+    def test_advance(self):
+        clock = SimClock(0.05)
+        assert clock.advance() == pytest.approx(0.05)
+        assert clock.ticks == 1
+
+    def test_no_float_drift_over_long_runs(self):
+        clock = SimClock(0.05)
+        for _ in range(1_000_000):
+            clock.advance()
+        # 1e6 * 0.05 = 50_000 exactly (integer-tick arithmetic).
+        assert clock.now == pytest.approx(50_000.0, abs=1e-6)
+
+    def test_reset(self):
+        clock = SimClock(0.1)
+        clock.advance()
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(0.0)
+        with pytest.raises(ConfigurationError):
+            SimClock(-1.0)
+
+    def test_ticks_for_exact(self):
+        clock = SimClock(0.25)
+        assert clock.ticks_for(1.0) == 4
+
+    def test_ticks_for_rounds(self):
+        clock = SimClock(0.25)
+        assert clock.ticks_for(1.1) == 4
+        assert clock.ticks_for(1.2) == 5
+
+    def test_ticks_for_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(0.1).ticks_for(-1.0)
+
+
+class TestPeriodicTask:
+    def test_fires_at_period_multiples(self):
+        clock = SimClock(0.05)
+        fired = []
+        task = PeriodicTask(period=0.25, callback=fired.append)
+        task.bind(clock)
+        for _ in range(20):
+            clock.advance()
+            task.maybe_fire(clock)
+        assert fired == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_fire_count(self):
+        clock = SimClock(0.1)
+        task = PeriodicTask(period=0.2, callback=lambda t: None)
+        task.bind(clock)
+        for _ in range(10):
+            clock.advance()
+            task.maybe_fire(clock)
+        assert task.fire_count == 5
+
+    def test_phase_offsets_first_fire(self):
+        clock = SimClock(0.05)
+        fired = []
+        task = PeriodicTask(period=0.25, callback=fired.append, phase=0.1)
+        task.bind(clock)
+        for _ in range(20):
+            clock.advance()
+            task.maybe_fire(clock)
+        # first fire at the phase offset itself, then every period
+        assert fired[:3] == pytest.approx([0.1, 0.35, 0.6])
+
+    def test_non_multiple_period_rejected(self):
+        clock = SimClock(0.3)
+        task = PeriodicTask(period=0.25, callback=lambda t: None)
+        with pytest.raises(ConfigurationError):
+            task.bind(clock)
+
+    def test_unbound_fire_is_error(self):
+        clock = SimClock(0.05)
+        task = PeriodicTask(period=0.25, callback=lambda t: None)
+        with pytest.raises(SimulationError):
+            task.maybe_fire(clock)
+
+    def test_zero_period_rejected(self):
+        clock = SimClock(0.05)
+        task = PeriodicTask(period=0.0, callback=lambda t: None)
+        with pytest.raises(ConfigurationError):
+            task.bind(clock)
+
+    def test_period_equal_to_dt_fires_every_tick(self):
+        clock = SimClock(0.05)
+        task = PeriodicTask(period=0.05, callback=lambda t: None)
+        task.bind(clock)
+        for _ in range(7):
+            clock.advance()
+            task.maybe_fire(clock)
+        assert task.fire_count == 7
+
+    def test_long_run_exactness(self):
+        # A 4 Hz sensor on a 0.05 s clock fires exactly 4 times/second
+        # over an hour, never drifting.
+        clock = SimClock(0.05)
+        task = PeriodicTask(period=0.25, callback=lambda t: None)
+        task.bind(clock)
+        for _ in range(clock.ticks_for(3600.0)):
+            clock.advance()
+            task.maybe_fire(clock)
+        assert task.fire_count == 4 * 3600

@@ -1,0 +1,159 @@
+"""Trace recording and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace, TraceSet
+
+
+class TestTraceBasics:
+    def test_empty(self):
+        trace = Trace("t")
+        assert len(trace) == 0
+        assert np.isnan(trace.mean())
+        assert np.isnan(trace.last())
+
+    def test_append_and_read(self):
+        trace = Trace("t")
+        trace.append(0.0, 1.0)
+        trace.append(1.0, 3.0)
+        assert len(trace) == 2
+        assert trace.values.tolist() == [1.0, 3.0]
+        assert trace.times.tolist() == [0.0, 1.0]
+
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            Trace("")
+
+    def test_growth_beyond_initial_capacity(self):
+        trace = Trace("t")
+        for i in range(10_000):
+            trace.append(float(i), float(i) * 2)
+        assert len(trace) == 10_000
+        assert trace.values[-1] == pytest.approx(19_998.0)
+        assert trace.times[5_000] == pytest.approx(5_000.0)
+
+    def test_time_must_not_go_backwards(self):
+        trace = Trace("t")
+        trace.append(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            trace.append(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        trace = Trace("t")
+        trace.append(1.0, 0.0)
+        trace.append(1.0, 1.0)  # same timestamp is fine
+        assert len(trace) == 2
+
+    def test_views_are_read_only(self):
+        trace = Trace("t")
+        trace.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            trace.values[0] = 5.0
+
+
+class TestTraceStats:
+    def _ramp(self) -> Trace:
+        trace = Trace("ramp")
+        for i in range(11):
+            trace.append(i * 1.0, float(i))
+        return trace
+
+    def test_mean(self):
+        assert self._ramp().mean() == pytest.approx(5.0)
+
+    def test_min_max_last(self):
+        trace = self._ramp()
+        assert trace.min() == 0.0
+        assert trace.max() == 10.0
+        assert trace.last() == 10.0
+
+    def test_integrate_ramp(self):
+        # Integral of t over [0, 10] = 50.
+        assert self._ramp().integrate() == pytest.approx(50.0)
+
+    def test_integrate_short_trace_is_zero(self):
+        trace = Trace("t")
+        trace.append(0.0, 5.0)
+        assert trace.integrate() == 0.0
+
+    def test_time_weighted_mean_even_sampling(self):
+        trace = self._ramp()
+        assert trace.time_weighted_mean() == pytest.approx(trace.mean())
+
+    def test_time_weighted_mean_uneven(self):
+        trace = Trace("t")
+        trace.append(0.0, 0.0)   # holds 9 s
+        trace.append(9.0, 10.0)  # holds 1 s
+        trace.append(10.0, 10.0)
+        tw = trace.time_weighted_mean()
+        assert tw < trace.mean()  # the long-held 0.0 dominates
+
+    def test_time_weighted_mean_singleton(self):
+        trace = Trace("t")
+        trace.append(0.0, 7.0)
+        assert trace.time_weighted_mean() == 7.0
+
+
+class TestTraceWindowing:
+    def test_window_selects_range(self):
+        trace = Trace("t")
+        for i in range(10):
+            trace.append(float(i), float(i))
+        sub = trace.window(3.0, 6.0)
+        assert sub.times.tolist() == [3.0, 4.0, 5.0, 6.0]
+
+    def test_window_reversed_bounds(self):
+        trace = Trace("t")
+        with pytest.raises(ConfigurationError):
+            trace.window(5.0, 3.0)
+
+    def test_resample_block_average(self):
+        trace = Trace("t")
+        for i in range(8):
+            trace.append(i * 0.25, float(i))
+        out = trace.resample(1.0)
+        assert len(out) == 2
+        assert out.values[0] == pytest.approx(np.mean([0, 1, 2, 3]))
+        assert out.values[1] == pytest.approx(np.mean([4, 5, 6, 7]))
+
+    def test_resample_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            Trace("t").resample(0.0)
+
+    def test_resample_empty(self):
+        assert len(Trace("t").resample(1.0)) == 0
+
+    def test_iteration(self):
+        trace = Trace("t")
+        trace.append(0.0, 1.0)
+        trace.append(1.0, 2.0)
+        assert list(trace) == [(0.0, 1.0), (1.0, 2.0)]
+
+
+class TestTraceSet:
+    def test_auto_create_on_record(self):
+        ts = TraceSet()
+        ts.record("a", 0.0, 1.0)
+        assert "a" in ts
+        assert len(ts["a"]) == 1
+
+    def test_missing_name_raises_with_inventory(self):
+        ts = TraceSet()
+        ts.record("present", 0.0, 1.0)
+        with pytest.raises(KeyError, match="present"):
+            ts["absent"]
+
+    def test_names_sorted(self):
+        ts = TraceSet()
+        ts.record("b", 0.0, 1.0)
+        ts.record("a", 0.0, 1.0)
+        assert ts.names() == ["a", "b"]
+
+    def test_len_and_iter(self):
+        ts = TraceSet()
+        ts.record("x", 0.0, 0.0)
+        ts.record("y", 0.0, 0.0)
+        assert len(ts) == 2
+        assert sorted(ts) == ["x", "y"]

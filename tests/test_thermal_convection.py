@@ -1,0 +1,89 @@
+"""Convection model: monotonicity, bounds, calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.convection import ConvectionModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ConvectionModel()
+
+    def test_r_max_flow_must_be_below_r_still(self):
+        with pytest.raises(ConfigurationError):
+            ConvectionModel(r_still=0.3, r_max_flow=0.3)
+
+    def test_negative_airflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvectionModel().resistance(-1.0)
+
+    def test_positive_params_required(self):
+        with pytest.raises(ConfigurationError):
+            ConvectionModel(q_ref=0.0)
+        with pytest.raises(ConfigurationError):
+            ConvectionModel(exponent=-1.0)
+
+
+class TestShape:
+    def test_zero_flow_gives_still_air_resistance(self):
+        model = ConvectionModel(r_still=0.9, r_max_flow=0.2)
+        assert model.resistance(0.0) == pytest.approx(0.9)
+
+    def test_strictly_decreasing(self):
+        model = ConvectionModel()
+        flows = np.linspace(0.0, 60.0, 200)
+        resistances = [model.resistance(q) for q in flows]
+        assert all(a > b for a, b in zip(resistances, resistances[1:]))
+
+    def test_asymptote(self):
+        model = ConvectionModel(r_still=0.9, r_max_flow=0.2)
+        assert model.resistance(1e6) == pytest.approx(0.2, abs=1e-3)
+
+    def test_half_reduction_at_q_ref(self):
+        model = ConvectionModel(r_still=0.9, r_max_flow=0.1, q_ref=10.0)
+        mid = model.resistance(10.0)
+        assert mid == pytest.approx(0.1 + (0.9 - 0.1) / 2.0)
+
+    def test_conductance_is_reciprocal(self):
+        model = ConvectionModel()
+        q = 12.0
+        assert model.conductance(q) == pytest.approx(1.0 / model.resistance(q))
+
+    def test_bounded_between_extremes(self):
+        model = ConvectionModel()
+        for q in np.linspace(0, 100, 50):
+            r = model.resistance(float(q))
+            assert model.r_max_flow < r <= model.r_still
+
+
+class TestCalibration:
+    """Anchors the platform calibration (DESIGN.md §5): a BT-class
+    ~57 W load must land above the 51 °C tDVFS threshold at the 25 %
+    and 50 % duty operating points and below it at 75 % — the geometry
+    Table 1 depends on."""
+
+    AMBIENT = 28.0
+    R_JHS = 0.15
+    POWER = 57.0
+
+    def equilibrium(self, duty: float) -> float:
+        # duty -> airflow via the default motor/aero constants
+        rpm_frac = 0.12 + 0.88 * duty
+        airflow = 28.0 * rpm_frac
+        model = ConvectionModel()
+        r_total = self.R_JHS + model.resistance(airflow)
+        return self.AMBIENT + self.POWER * r_total
+
+    def test_25_percent_cap_is_hot(self):
+        assert self.equilibrium(0.25) > 56.0
+
+    def test_50_percent_cap_just_above_threshold(self):
+        assert 51.0 < self.equilibrium(0.50) < 55.0
+
+    def test_75_percent_cap_below_threshold(self):
+        assert self.equilibrium(0.75) < 51.0
+
+    def test_full_speed_coolest(self):
+        assert self.equilibrium(1.0) < self.equilibrium(0.75)

@@ -1,0 +1,111 @@
+"""Multi-core package: hotspots, spreading, sensor semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.multicore import MulticorePackage
+from repro.thermal.sensor import SensorParams, ThermalSensor
+
+
+def settle(pkg: MulticorePackage, seconds=3000.0, dt=0.1):
+    for i in range(int(seconds / dt)):
+        pkg.step(i * dt, dt)
+
+
+class TestConstruction:
+    def test_needs_two_cores(self):
+        with pytest.raises(ConfigurationError):
+            MulticorePackage(n_cores=1)
+
+    def test_two_core_package_has_no_duplicate_links(self):
+        pkg = MulticorePackage(n_cores=2)  # would raise on dup links
+        pkg.step(0.1, 0.1)
+
+    def test_power_index_bounds(self):
+        pkg = MulticorePackage(n_cores=4)
+        with pytest.raises(ConfigurationError):
+            pkg.set_core_power(4, 10.0)
+        with pytest.raises(ConfigurationError):
+            pkg.core_temperature(-1)
+
+    def test_set_powers_arity(self):
+        pkg = MulticorePackage(n_cores=4)
+        with pytest.raises(ConfigurationError):
+            pkg.set_powers([10.0, 10.0])
+
+
+class TestPhysics:
+    def test_uniform_load_uniform_temps(self):
+        pkg = MulticorePackage(n_cores=4)
+        pkg.set_powers([12.0] * 4)
+        pkg.set_airflow(20.0)
+        settle(pkg)
+        assert pkg.hotspot_spread < 0.01
+
+    def test_single_hot_core_creates_hotspot(self):
+        pkg = MulticorePackage(n_cores=4)
+        pkg.set_powers([40.0, 2.0, 2.0, 2.0])
+        pkg.set_airflow(20.0)
+        settle(pkg)
+        temps = pkg.core_temperatures()
+        assert temps[0] == max(temps)
+        assert pkg.hotspot_spread > 3.0
+
+    def test_lateral_conduction_spreads_heat(self):
+        tight = MulticorePackage(n_cores=4, r_core_core=0.3)
+        loose = MulticorePackage(n_cores=4, r_core_core=5.0)
+        for pkg in (tight, loose):
+            pkg.set_powers([40.0, 2.0, 2.0, 2.0])
+            pkg.set_airflow(20.0)
+            settle(pkg)
+        assert tight.hotspot_spread < loose.hotspot_spread
+
+    def test_die_temperature_is_hottest_core(self):
+        pkg = MulticorePackage(n_cores=4)
+        pkg.set_powers([5.0, 30.0, 5.0, 5.0])
+        pkg.set_airflow(15.0)
+        settle(pkg)
+        assert pkg.die_temperature == pytest.approx(pkg.core_temperature(1))
+
+    def test_airflow_cools_all_cores(self):
+        def end_temps(q):
+            pkg = MulticorePackage(n_cores=4)
+            pkg.set_powers([15.0] * 4)
+            pkg.set_airflow(q)
+            settle(pkg)
+            return pkg.core_temperatures()
+
+        weak = end_temps(6.0)
+        strong = end_temps(28.0)
+        assert all(s < w - 2.0 for s, w in zip(strong, weak))
+
+    def test_dynamics_converge_to_steady_state(self):
+        pkg = MulticorePackage(n_cores=3)
+        pkg.set_powers([20.0, 10.0, 5.0])
+        pkg.set_airflow(15.0)
+        target = pkg.steady_state()
+        settle(pkg)
+        assert pkg.core_temperatures() == pytest.approx(target, abs=0.1)
+
+    def test_total_power_conservation_at_equilibrium(self):
+        """At steady state, sink-to-ambient flux equals total power."""
+        pkg = MulticorePackage(n_cores=4)
+        pkg.set_powers([10.0, 20.0, 5.0, 15.0])
+        pkg.set_airflow(18.0)
+        settle(pkg, seconds=6000.0)
+        r_conv = pkg.convection.resistance(18.0)
+        flux = (pkg.sink_temperature - pkg.ambient.temperature(0.0)) / r_conv
+        assert flux == pytest.approx(50.0, rel=0.02)
+
+
+class TestSensorIntegration:
+    def test_drops_into_thermal_sensor(self):
+        pkg = MulticorePackage(n_cores=4)
+        pkg.set_powers([30.0, 2.0, 2.0, 2.0])
+        pkg.set_airflow(15.0)
+        settle(pkg, seconds=200.0)
+        sensor = ThermalSensor(
+            pkg, SensorParams(quantum=0.25, noise_sigma=0.0)
+        )
+        reading = sensor.sample(0.0)
+        assert reading == pytest.approx(pkg.die_temperature, abs=0.25)

@@ -1,0 +1,170 @@
+"""Workload primitives: segments, barriers, rank programs."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.base import (
+    WAIT_UTILIZATION,
+    Barrier,
+    BarrierSegment,
+    CommSegment,
+    ComputeSegment,
+    IdleSegment,
+    Job,
+    RankProgram,
+)
+
+FREQ = 2.4e9
+
+
+class TestComputeSegment:
+    def test_duration_is_cycles_over_frequency(self):
+        seg = ComputeSegment(cycles=FREQ)  # one second of work
+        consumed, busy, done = seg.advance(2.0, FREQ)
+        assert done
+        assert consumed == pytest.approx(1.0)
+        assert busy == pytest.approx(0.98)
+
+    def test_partial_progress(self):
+        seg = ComputeSegment(cycles=FREQ)
+        consumed, busy, done = seg.advance(0.25, FREQ)
+        assert not done
+        assert consumed == 0.25
+        assert seg.remaining == pytest.approx(0.75 * FREQ)
+
+    def test_frequency_sensitivity(self):
+        seg = ComputeSegment(cycles=FREQ)
+        _, _, done = seg.advance(1.0, FREQ / 2)
+        assert not done
+        assert seg.remaining == pytest.approx(FREQ / 2)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ConfigurationError):
+            ComputeSegment(cycles=0.0)
+
+
+class TestCommSegment:
+    def test_frequency_insensitive(self):
+        fast = CommSegment(duration=1.0)
+        slow = CommSegment(duration=1.0)
+        fast.advance(0.5, FREQ)
+        slow.advance(0.5, FREQ / 2.4)
+        assert fast.remaining == pytest.approx(slow.remaining)
+
+    def test_low_utilization(self):
+        seg = CommSegment(duration=1.0, utilization=0.15)
+        _, busy, _ = seg.advance(1.0, FREQ)
+        assert busy == pytest.approx(0.15)
+
+    def test_idle_segment_zero_util(self):
+        seg = IdleSegment(duration=1.0)
+        _, busy, _ = seg.advance(0.5, FREQ)
+        assert busy == 0.0
+
+
+class TestBarrier:
+    def test_releases_when_all_arrive(self):
+        barrier = Barrier(3)
+        barrier.arrive()
+        barrier.arrive()
+        assert not barrier.released
+        barrier.arrive()
+        assert barrier.released
+
+    def test_over_arrival_is_error(self):
+        barrier = Barrier(1)
+        barrier.arrive()
+        with pytest.raises(WorkloadError):
+            barrier.arrive()
+
+    def test_needs_ranks(self):
+        with pytest.raises(ConfigurationError):
+            Barrier(0)
+
+    def test_segment_waits_until_release(self):
+        barrier = Barrier(2)
+        seg = BarrierSegment(barrier)
+        consumed, busy, done = seg.advance(0.1, FREQ)
+        assert not done
+        assert consumed == 0.1
+        assert busy == pytest.approx(0.1 * WAIT_UTILIZATION)
+        barrier.arrive()  # the other rank
+        consumed, _, done = seg.advance(0.1, FREQ)
+        assert done
+        assert consumed == 0.0
+
+    def test_segment_passes_straight_through_when_last(self):
+        barrier = Barrier(1)
+        seg = BarrierSegment(barrier)
+        _, _, done = seg.advance(0.1, FREQ)
+        assert done
+
+
+class TestRankProgram:
+    def test_crosses_segment_boundaries_within_tick(self):
+        rank = RankProgram(
+            [ComputeSegment(FREQ * 0.01), IdleSegment(0.01), ComputeSegment(FREQ * 0.01)],
+            name="r",
+        )
+        util = rank.advance(0.05, FREQ)
+        assert rank.finished
+        # 0.02s busy-ish + 0.01 idle out of 0.03 used; util over 0.05 tick
+        assert 0.3 < util < 0.5
+
+    def test_finished_exactly_when_work_ends(self):
+        rank = RankProgram([ComputeSegment(FREQ * 0.1)], name="r")
+        rank.advance(0.1, FREQ)
+        assert rank.finished
+
+    def test_advance_after_finish_is_zero(self):
+        rank = RankProgram([ComputeSegment(FREQ * 0.01)], name="r")
+        rank.advance(1.0, FREQ)
+        assert rank.advance(1.0, FREQ) == 0.0
+
+    def test_generator_source(self):
+        def segs():
+            yield ComputeSegment(FREQ * 0.02)
+            yield IdleSegment(0.02)
+
+        rank = RankProgram(segs(), name="r")
+        rank.advance(0.05, FREQ)
+        assert rank.finished
+
+    def test_busy_seconds_accounting(self):
+        rank = RankProgram([CommSegment(1.0, utilization=0.5)], name="r")
+        rank.advance(1.0, FREQ)
+        assert rank.busy_seconds == pytest.approx(0.5)
+        assert rank.elapsed == pytest.approx(1.0)
+
+
+class TestJob:
+    def test_needs_ranks(self):
+        with pytest.raises(ConfigurationError):
+            Job([])
+
+    def test_finished_when_all_ranks_finish(self):
+        r1 = RankProgram([ComputeSegment(FREQ * 0.01)], name="a")
+        r2 = RankProgram([ComputeSegment(FREQ * 0.02)], name="b")
+        job = Job([r1, r2])
+        r1.advance(0.015, FREQ)
+        assert not job.finished
+        r2.advance(0.025, FREQ)
+        assert job.finished
+
+    def test_barrier_couples_ranks(self):
+        """The slowest rank gates the job: a barrier after unequal work
+        makes the fast rank wait."""
+        barrier = Barrier(2)
+        fast = RankProgram(
+            [ComputeSegment(FREQ * 0.1), BarrierSegment(barrier)], name="fast"
+        )
+        slow = RankProgram(
+            [ComputeSegment(FREQ * 0.3), BarrierSegment(barrier)], name="slow"
+        )
+        t = 0.0
+        while not (fast.finished and slow.finished) and t < 1.0:
+            fast.advance(0.05, FREQ)
+            slow.advance(0.05, FREQ)
+            t += 0.05
+        # fast finishes only after slow arrives: ~0.3 s, not ~0.1 s
+        assert fast.elapsed >= 0.3
