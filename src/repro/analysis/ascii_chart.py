@@ -27,7 +27,10 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["ascii_chart"]
+__all__ = [
+    "ascii_chart",
+    "GLYPHS",
+]
 
 #: Glyphs assigned to successive curves.
 GLYPHS = "*o+x#@%&"

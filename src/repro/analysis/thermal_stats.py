@@ -32,6 +32,7 @@ __all__ = [
     "degree_seconds_above",
     "arrhenius_acceleration",
     "thermal_cycles",
+    "BOLTZMANN_EV",
 ]
 
 #: Boltzmann constant in eV/K.

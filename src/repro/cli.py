@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="series_out",
         help="directory for the per-curve CSVs (default: series_out/)",
     )
+
+    sub.add_parser(
+        "lint",
+        help="run the repro.lint invariant checker (see 'repro-lint --help')",
+        add_help=False,
+    )
     return parser
 
 
@@ -150,6 +156,14 @@ def _run_one(
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # `lint` forwards its arguments verbatim (argparse.REMAINDER cannot:
+    # it refuses option-looking tokens right after the subcommand).
+    if argv[:1] == ["lint"]:
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.command == "list":
         width = max(len(n) for n in REGISTRY)

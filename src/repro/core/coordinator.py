@@ -20,7 +20,10 @@ from ..errors import ConfigurationError
 from ..sim.events import EventLog
 from .policy import Policy
 
-__all__ = ["Coordinator"]
+__all__ = [
+    "Coordinator",
+    "SampleSink",
+]
 
 #: A technique: anything accepting (t, temperature) samples.
 SampleSink = Callable[[float, float], object]

@@ -56,6 +56,7 @@ __all__ = [
     "emergency",
     "workload_suite",
     "robustness",
+    "REGISTRY",
 ]
 
 #: Registry used by the CLI: name → (module, description).

@@ -49,13 +49,15 @@ from .platform import (
 __all__ = [
     "WindowSizeRow",
     "L2FallbackRow",
-    "CooldownRow",
     "AblationResult",
     "window_size_sweep",
     "l2_fallback_ablation",
-    "cooldown_sweep",
     "run",
     "render",
+    "EscalationRow",
+    "SplitPolicyRow",
+    "escalation_ablation",
+    "split_policy_ablation",
 ]
 
 

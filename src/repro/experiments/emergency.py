@@ -44,7 +44,14 @@ from ..governors.ondemand import Ondemand
 from ..workloads.npb import NpbJob, NpbParams
 from .platform import DEFAULT_SEED, standard_cluster
 
-__all__ = ["EmergencyRow", "EmergencyResult", "run", "render"]
+__all__ = [
+    "EmergencyRow",
+    "EmergencyResult",
+    "run",
+    "render",
+    "STRATEGIES",
+    "STRESS_THRESHOLD",
+]
 
 STRATEGIES = ("stock", "ondemand", "cpuspeed", "unified")
 

@@ -29,7 +29,13 @@ from .platform import (
     standard_cluster,
 )
 
-__all__ = ["Fig6Row", "Fig6Result", "run", "render"]
+__all__ = [
+    "Fig6Row",
+    "Fig6Result",
+    "run",
+    "render",
+    "MAX_DUTY",
+]
 
 MAX_DUTY = 0.75
 

@@ -22,7 +22,13 @@ from ..analysis.tables import Table
 from ..workloads.npb import bt_b_4
 from .platform import DEFAULT_SEED, attach_dynamic_fan, standard_cluster
 
-__all__ = ["Fig7Row", "Fig7Result", "run", "render"]
+__all__ = [
+    "Fig7Row",
+    "Fig7Result",
+    "run",
+    "render",
+    "CAPS",
+]
 
 CAPS = (0.25, 0.50, 0.75, 1.00)
 

@@ -30,7 +30,13 @@ from .platform import (
     standard_cluster,
 )
 
-__all__ = ["Fig8Result", "run", "render"]
+__all__ = [
+    "Fig8Result",
+    "run",
+    "render",
+    "MAX_DUTY",
+    "THRESHOLD",
+]
 
 MAX_DUTY = 0.25
 THRESHOLD = 51.0

@@ -34,7 +34,13 @@ from .platform import (
     standard_cluster,
 )
 
-__all__ = ["Fig9Row", "Fig9Result", "run", "render"]
+__all__ = [
+    "Fig9Row",
+    "Fig9Result",
+    "run",
+    "render",
+    "MAX_DUTY",
+]
 
 MAX_DUTY = 0.25
 

@@ -31,7 +31,14 @@ from ..analysis.tables import Table
 from ..workloads.npb import bt_b_4
 from .platform import DEFAULT_SEED, attach_hybrid, standard_cluster
 
-__all__ = ["Fig10Row", "Fig10Result", "run", "render"]
+__all__ = [
+    "Fig10Row",
+    "Fig10Result",
+    "run",
+    "render",
+    "MAX_DUTY",
+    "PPS",
+]
 
 MAX_DUTY = 0.50
 PPS = (25, 50, 75)

@@ -34,7 +34,14 @@ from .platform import DEFAULT_SEED
 from .table1_tdvfs_cpuspeed import CAPS, DAEMONS, Table1Result
 from .table1_tdvfs_cpuspeed import run as run_table1
 
-__all__ = ["MetricSummary", "RobustnessResult", "run", "render"]
+__all__ = [
+    "MetricSummary",
+    "RobustnessResult",
+    "run",
+    "render",
+    "FULL_SEEDS",
+    "QUICK_SEEDS",
+]
 
 #: Seeds used in full mode (the canonical one plus independent draws).
 FULL_SEEDS = (DEFAULT_SEED, 101, 202, 303, 404)

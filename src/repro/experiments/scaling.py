@@ -30,7 +30,13 @@ from .platform import DEFAULT_SEED, attach_hybrid, standard_cluster
 from ..cluster.cluster import Cluster
 from ..config import ClusterConfig
 
-__all__ = ["ScalingRow", "ScalingResult", "run", "render"]
+__all__ = [
+    "ScalingRow",
+    "ScalingResult",
+    "run",
+    "render",
+    "RACK_GRADIENT",
+]
 
 #: Inlet temperature rise from rack bottom to top, K.
 RACK_GRADIENT = 5.0

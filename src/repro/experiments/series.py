@@ -50,6 +50,7 @@ __all__ = [
     "fig09_series",
     "fig10_series",
     "SERIES_REGISTRY",
+    "Curve",
 ]
 
 #: A curve: (sample times in seconds, values).

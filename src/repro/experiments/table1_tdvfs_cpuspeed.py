@@ -32,7 +32,14 @@ from .platform import (
     standard_cluster,
 )
 
-__all__ = ["Table1Cell", "Table1Result", "run", "render"]
+__all__ = [
+    "Table1Cell",
+    "Table1Result",
+    "run",
+    "render",
+    "CAPS",
+    "DAEMONS",
+]
 
 CAPS = (0.75, 0.50, 0.25)
 DAEMONS = ("cpuspeed", "tdvfs")

@@ -37,7 +37,14 @@ from .platform import (
     standard_cluster,
 )
 
-__all__ = ["SuiteRow", "SuiteResult", "run", "render"]
+__all__ = [
+    "SuiteRow",
+    "SuiteResult",
+    "run",
+    "render",
+    "MAX_DUTY",
+    "WORKLOADS",
+]
 
 MAX_DUTY = 0.50
 

@@ -31,7 +31,27 @@ from ..errors import ConfigurationError
 from ..i2c.device import I2cDevice
 from ..units import clamp, require_in_range
 
-__all__ = ["Adt7467Config", "ADT7467"]
+__all__ = [
+    "Adt7467Config",
+    "ADT7467",
+    "REG_REMOTE1_TEMP",
+    "REG_LOCAL_TEMP",
+    "REG_TACH1_LOW",
+    "REG_TACH1_HIGH",
+    "REG_PWM1_DUTY",
+    "REG_PWM1_MAX",
+    "REG_DEVICE_ID",
+    "REG_COMPANY_ID",
+    "REG_PWM1_CONFIG",
+    "REG_PWM1_MIN",
+    "REG_TMIN",
+    "REG_TRANGE",
+    "DEVICE_ID",
+    "COMPANY_ID",
+    "CONFIG_MANUAL",
+    "CONFIG_AUTO_REMOTE1",
+    "TACH_CLOCK_PER_MINUTE",
+]
 
 # -- register addresses (abridged ADT746x-style map) -------------------------
 REG_REMOTE1_TEMP = 0x25

@@ -26,7 +26,13 @@ from ..fan.adt7467 import CONFIG_MANUAL, REG_PWM1_CONFIG, REG_PWM1_DUTY
 from ..units import clamp, require_in_range
 from .sdr import SensorRecord, SensorType, ThresholdStatus
 
-__all__ = ["SelEntry", "BMC"]
+__all__ = [
+    "SelEntry",
+    "BMC",
+    "SENSOR_CPU_TEMP",
+    "SENSOR_FAN1",
+    "SENSOR_WALL_POWER",
+]
 
 #: Standard sensor ids in the default SDR set.
 SENSOR_CPU_TEMP = 0x01

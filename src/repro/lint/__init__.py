@@ -1,0 +1,56 @@
+"""``repro.lint`` — AST-based invariant checker for the simulator.
+
+The reproduction's credibility rests on two machine-checkable promises:
+a run is a pure function of ``(platform, seed)`` (see
+:mod:`repro.sim.rng`) and every quantity crossing a module boundary is
+in the canonical units of :mod:`repro.units`.  This package enforces
+them — plus the control-loop contracts that keep governor comparisons
+honest — as a stdlib-only static analysis pass:
+
+=======  ===========================  =======================================
+code     name                         enforces
+=======  ===========================  =======================================
+RPR001   determinism                  no wall clock / stdlib random /
+                                      seedless numpy RNG outside sim/rng.py
+RPR002   unit-boundary                duty literals are fractions, ``*_hz``
+                                      literals are hertz
+RPR003   governor-purity              governors never write attributes on
+                                      received plant objects
+RPR004   all-consistency              ``__all__`` is complete and truthful
+RPR005   hygiene                      no ``import *`` / mutable defaults
+RPR006   experiment-reproducibility   experiment ``run()`` threads ``seed``
+=======  ===========================  =======================================
+
+Run it with ``repro-lint src/repro``, ``python -m repro.lint src/repro``
+or ``python -m repro lint``; configure it under ``[tool.repro-lint]``
+in ``pyproject.toml``; silence single lines with
+``# repro-lint: disable=RPRxxx``.  See ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, Rule, RuleContext
+from .cli import main
+from .config import LintConfig, find_pyproject, load_config
+from .engine import PARSE_ERROR_CODE, iter_python_files, lint_file, lint_paths
+from .rules import ALL_RULES, RULES_BY_CODE, make_rules
+from .suppressions import Suppressions, scan_suppressions
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "LintConfig",
+    "find_pyproject",
+    "load_config",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "PARSE_ERROR_CODE",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "make_rules",
+    "Suppressions",
+    "scan_suppressions",
+    "main",
+]

@@ -1,0 +1,163 @@
+"""Core types of the ``repro.lint`` static analysis pass.
+
+The linter is a deliberately small, stdlib-only machine: every check is
+a :class:`Rule` subclass that walks one parsed module
+(:class:`RuleContext`) and yields :class:`Finding` records.  Rules are
+registered in :mod:`repro.lint.rules` and discovered by code
+(``RPR001`` …), so configuration, suppression and the CLI never need to
+know about individual checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "CODE_PATTERN",
+    "dotted_name",
+    "function_params",
+    "iter_assign_targets",
+]
+
+#: Shape of a valid rule code (``RPR`` + three digits).
+CODE_PATTERN = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location.
+
+    Orders by ``(path, line, col, code)`` so reports are stable.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report: ``file:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect about one module.
+
+    Parameters
+    ----------
+    path:
+        Path of the file as it should appear in findings (normally the
+        path the user passed, kept relative when possible).
+    tree:
+        The parsed :class:`ast.Module`.
+    source:
+        Raw source text (rules rarely need it; suppression scanning
+        happens in the engine).
+    """
+
+    path: Path
+    tree: ast.Module
+    source: str
+    _lines: Tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def display_path(self) -> str:
+        """Path string used in findings."""
+        return self.path.as_posix()
+
+    @property
+    def lines(self) -> Tuple[str, ...]:
+        """Source split into physical lines (lazily cached)."""
+        if not self._lines:
+            self._lines = tuple(self.source.splitlines())
+        return self._lines
+
+    def path_has_part(self, part: str) -> bool:
+        """True when ``part`` is one of the path's directory components."""
+        return part in self.path.parts
+
+
+class Rule:
+    """Base class of every lint check.
+
+    Subclasses set :attr:`code`, :attr:`name` and :attr:`description`
+    and implement :meth:`check`.  A rule instance is stateless across
+    files; :meth:`check` receives one :class:`RuleContext` per module
+    and yields findings.
+    """
+
+    #: Unique diagnostic code, e.g. ``"RPR001"``.
+    code: str = ""
+    #: Short kebab-case identifier, e.g. ``"determinism"``.
+    name: str = ""
+    #: One-line human description shown by ``repro-lint --list-rules``.
+    description: str = ""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.code and not CODE_PATTERN.match(cls.code):
+            raise ValueError(f"invalid rule code {cls.code!r} on {cls.__name__}")
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield findings for one module (subclass responsibility)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+    def run(self, ctx: RuleContext) -> List[Finding]:
+        """Materialise :meth:`check` into a list (engine convenience)."""
+        return list(self.check(ctx))
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else ``""``).
+
+    Chains containing anything but names/attributes (calls, subscripts)
+    flatten to ``""`` — rules treat those as opaque.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def function_params(node: ast.AST) -> List[str]:
+    """All parameter names of a function definition node."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return []
+    a = node.args
+    names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg is not None:
+        names.append(a.vararg.arg)
+    if a.kwarg is not None:
+        names.append(a.kwarg.arg)
+    return names
+
+
+def iter_assign_targets(node: ast.stmt) -> Iterable[ast.expr]:
+    """Assignment-target expressions of an assign-like statement."""
+    if isinstance(node, ast.Assign):
+        yield from node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        yield node.target

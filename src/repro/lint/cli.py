@@ -1,0 +1,149 @@
+"""``repro-lint`` — command-line front end of the invariant checker.
+
+Usage::
+
+    repro-lint src/repro               # or: python -m repro.lint src/repro
+    repro-lint --list-rules
+    repro-lint --select RPR001,RPR004 src/repro
+    repro-lint --no-config tests/lint_fixtures/rpr001_determinism.py
+
+Exit status: 0 — clean; 1 — findings; 2 — usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import LintConfig, find_pyproject, load_config
+from .engine import PARSE_ERROR_CODE, lint_paths
+from .rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro simulator: "
+            "determinism, unit safety and control-loop contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="explicit pyproject.toml (default: nearest one above cwd)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml; run with built-in defaults",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to switch off",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings still print)",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> frozenset:
+    if raw is None:
+        return frozenset()
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(cls.name) for cls in ALL_RULES)
+        for cls in ALL_RULES:
+            print(f"{cls.code}  {cls.name:<{width}}  {cls.description}")
+        return 0
+
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            pyproject = (
+                Path(args.config) if args.config else find_pyproject()
+            )
+            config = load_config(pyproject)
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    select = _split_codes(args.select)
+    disable = _split_codes(args.disable)
+    known = set(RULES_BY_CODE) | {PARSE_ERROR_CODE}
+    unknown = (select | disable) - known
+    if unknown:
+        # A typo'd code silently linting nothing is the exact failure
+        # mode this tool exists to prevent — reject it loudly.
+        print(
+            f"repro-lint: unknown rule code(s): "
+            f"{', '.join(sorted(unknown))} (see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    if select or disable:
+        config = LintConfig(
+            select=select or config.select,
+            disable=config.disable | disable,
+            exclude=config.exclude,
+            per_file_ignores=config.per_file_ignores,
+        )
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, config=config)
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        noun = "issue" if len(findings) == 1 else "issues"
+        print(
+            f"repro-lint: {len(findings)} {noun} found"
+            if findings
+            else "repro-lint: clean"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro.lint
+    sys.exit(main())

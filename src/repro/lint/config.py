@@ -1,0 +1,182 @@
+"""Configuration for ``repro.lint``.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.repro-lint]``::
+
+    [tool.repro-lint]
+    exclude = ["tests/lint_fixtures/*", "*.egg-info/*"]
+    disable = []                # codes switched off everywhere
+    select  = []                # when non-empty: ONLY these codes run
+
+    [tool.repro-lint.per-file-ignores]
+    "sim/rng.py" = ["RPR001"]   # globs match path suffixes too
+
+``tomllib`` ships with Python 3.11+; on 3.10 (where neither ``tomllib``
+nor third-party ``tomli`` may be importable) the loader degrades to the
+built-in defaults with a warning instead of failing — the defaults
+already carry the repository's essential exemptions so lint results
+stay identical across interpreter versions.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = [
+    "LintConfig",
+    "DEFAULT_PER_FILE_IGNORES",
+    "DEFAULT_EXCLUDE",
+    "find_pyproject",
+    "load_config",
+]
+
+#: Exemptions that hold regardless of ``pyproject.toml`` availability.
+#: ``sim/rng.py`` is the one sanctioned home of seedless entropy.
+DEFAULT_PER_FILE_IGNORES: Mapping[str, FrozenSet[str]] = {
+    "sim/rng.py": frozenset({"RPR001"}),
+}
+
+#: Directory/file globs never walked when linting directories.
+DEFAULT_EXCLUDE: Tuple[str, ...] = (
+    "__pycache__/*",
+    "*.egg-info/*",
+    ".git/*",
+)
+
+
+def _match(path: Path, pattern: str) -> bool:
+    """Glob-match ``pattern`` against ``path`` or any suffix of it.
+
+    ``"sim/rng.py"`` matches ``src/repro/sim/rng.py``; absolute patterns
+    still match absolutely.
+    """
+    posix = path.as_posix()
+    return fnmatch(posix, pattern) or fnmatch(posix, "*/" + pattern)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable, resolved lint configuration."""
+
+    select: FrozenSet[str] = frozenset()
+    disable: FrozenSet[str] = frozenset()
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    per_file_ignores: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: dict(DEFAULT_PER_FILE_IGNORES)
+    )
+
+    def rule_enabled(self, code: str) -> bool:
+        """Is ``code`` globally enabled by select/disable?"""
+        if self.select and code not in self.select:
+            return False
+        return code not in self.disable
+
+    def is_excluded(self, path: Path) -> bool:
+        """Should ``path`` be skipped during directory discovery?"""
+        return any(_match(path, pattern) for pattern in self.exclude)
+
+    def ignored_codes(self, path: Path) -> FrozenSet[str]:
+        """Union of per-file-ignore codes whose glob matches ``path``."""
+        codes: set = set()
+        for pattern, pattern_codes in self.per_file_ignores.items():
+            if _match(path, pattern):
+                codes |= pattern_codes
+        return frozenset(codes)
+
+    def is_ignored(self, path: Path, code: str) -> bool:
+        """True when ``code`` findings in ``path`` are configured away."""
+        ignored = self.ignored_codes(path)
+        return "all" in ignored or code in ignored
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
+    here = (start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _load_toml(path: Path) -> Mapping[str, object]:
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10 without tomli
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            print(
+                f"repro-lint: warning: no TOML parser available on "
+                f"{sys.version.split()[0]}; ignoring {path} and using "
+                f"built-in defaults",
+                file=sys.stderr,
+            )
+            return {}
+    with path.open("rb") as handle:
+        return tomllib.load(handle)
+
+
+def _as_code_set(raw: object, where: str) -> FrozenSet[str]:
+    if not isinstance(raw, (list, tuple)) or not all(
+        isinstance(item, str) for item in raw
+    ):
+        raise ValueError(f"[tool.repro-lint] {where} must be a list of strings")
+    return frozenset(raw)
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Build a :class:`LintConfig` from ``pyproject`` (or defaults).
+
+    Unknown keys are rejected loudly — a typo like ``per_file_ignores``
+    silently doing nothing is exactly the failure mode this linter
+    exists to prevent.
+    """
+    if pyproject is None:
+        return LintConfig()
+    data = _load_toml(pyproject)
+    tool = data.get("tool", {})
+    section = tool.get("repro-lint", {}) if isinstance(tool, Mapping) else {}
+    if not isinstance(section, Mapping):
+        raise ValueError("[tool.repro-lint] must be a TOML table")
+
+    known = {"select", "disable", "ignore", "exclude", "per-file-ignores"}
+    unknown = set(section) - known
+    if unknown:
+        raise ValueError(
+            f"[tool.repro-lint] unknown keys: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
+    select = _as_code_set(section.get("select", ()), "select")
+    # "disable" and ruff-style "ignore" are synonyms.
+    disable = _as_code_set(section.get("disable", ()), "disable") | _as_code_set(
+        section.get("ignore", ()), "ignore"
+    )
+    exclude_raw = section.get("exclude", ())
+    if not isinstance(exclude_raw, (list, tuple)) or not all(
+        isinstance(item, str) for item in exclude_raw
+    ):
+        raise ValueError("[tool.repro-lint] exclude must be a list of strings")
+    exclude = tuple(DEFAULT_EXCLUDE) + tuple(exclude_raw)
+
+    pfi_raw = section.get("per-file-ignores", {})
+    if not isinstance(pfi_raw, Mapping):
+        raise ValueError("[tool.repro-lint] per-file-ignores must be a table")
+    per_file: Dict[str, FrozenSet[str]] = {
+        glob: codes for glob, codes in DEFAULT_PER_FILE_IGNORES.items()
+    }
+    for glob, codes in pfi_raw.items():
+        per_file[str(glob)] = _as_code_set(codes, f'per-file-ignores."{glob}"')
+
+    return LintConfig(
+        select=select,
+        disable=disable,
+        exclude=exclude,
+        per_file_ignores=per_file,
+    )

@@ -1,0 +1,124 @@
+"""File discovery and the lint driver loop.
+
+The engine is rule-agnostic: it finds Python files, parses each once,
+runs every enabled :class:`~repro.lint.base.Rule` over the tree, then
+filters findings through per-file ignores and inline suppressions.
+Syntax errors are reported as ``RPR000`` findings rather than crashing
+the run — an unparseable file in a determinism-audited tree is itself a
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .base import Finding, Rule, RuleContext
+from .config import LintConfig
+from .rules import make_rules
+from .suppressions import scan_suppressions
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths", "PARSE_ERROR_CODE"]
+
+#: Pseudo-code attached to files that fail to parse.
+PARSE_ERROR_CODE = "RPR000"
+
+
+def iter_python_files(
+    paths: Sequence[Path], config: LintConfig
+) -> Iterable[Path]:
+    """Yield the ``.py`` files named by ``paths``, in sorted order.
+
+    Directories are walked recursively with ``config.exclude`` globs
+    applied; files passed explicitly are always yielded (mirroring
+    ruff's default), so ``repro-lint tests/lint_fixtures/bad.py`` works
+    even when fixtures are excluded from tree-wide runs.  A file
+    reachable through several arguments is yielded once.
+    """
+    seen = set()
+
+    def emit(candidate: Path) -> Iterable[Path]:
+        key = candidate.resolve()
+        if key not in seen:
+            seen.add(key)
+            yield candidate
+
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not config.is_excluded(child):
+                    yield from emit(child)
+        else:
+            yield from emit(path)
+
+
+def _display_path(path: Path) -> Path:
+    """Prefer a cwd-relative spelling for readable, stable reports."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return path
+
+
+def lint_file(
+    path: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one file; returns surviving findings sorted by location."""
+    config = config if config is not None else LintConfig()
+    rules = rules if rules is not None else make_rules()
+    display = _display_path(path)
+
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [
+            Finding(
+                path=display.as_posix(),
+                line=1,
+                col=1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display.as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=PARSE_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+    ctx = RuleContext(path=display, tree=tree, source=source)
+    suppressions = scan_suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not config.rule_enabled(rule.code):
+            continue
+        if config.is_ignored(path, rule.code):
+            continue
+        for finding in rule.run(ctx):
+            if not suppressions.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint files and directories; returns all findings sorted."""
+    config = config if config is not None else LintConfig()
+    rules = rules if rules is not None else make_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, config):
+        findings.extend(lint_file(path, config=config, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,52 @@
+"""Rule registry.
+
+Each module under this package contributes one :class:`~repro.lint.base.Rule`
+subclass; :data:`ALL_RULES` is the ordered plugin table the engine and
+CLI iterate.  Adding a check means adding a module here and one line to
+the registry — nothing else in the linter changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..base import Rule
+from .determinism import DeterminismRule
+from .exports import ExportsRule
+from .governor_purity import GovernorPurityRule
+from .hygiene import HygieneRule
+from .reproducibility import ReproducibilityRule
+from .unit_safety import UnitSafetyRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "make_rules",
+    "DeterminismRule",
+    "UnitSafetyRule",
+    "GovernorPurityRule",
+    "ExportsRule",
+    "HygieneRule",
+    "ReproducibilityRule",
+]
+
+#: Ordered rule plugin table (report order follows registration order).
+ALL_RULES: List[Type[Rule]] = [
+    DeterminismRule,
+    UnitSafetyRule,
+    GovernorPurityRule,
+    ExportsRule,
+    HygieneRule,
+    ReproducibilityRule,
+]
+
+#: Code → rule class lookup.
+RULES_BY_CODE: Dict[str, Type[Rule]] = {cls.code: cls for cls in ALL_RULES}
+
+if len(RULES_BY_CODE) != len(ALL_RULES):  # pragma: no cover - registry bug
+    raise RuntimeError("duplicate rule codes in repro.lint.rules registry")
+
+
+def make_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in ALL_RULES]

@@ -1,0 +1,150 @@
+"""RPR004 — ``__all__`` is the module's public contract, kept honest.
+
+Two directions are checked for any module that declares ``__all__``:
+
+* **no phantoms** — every string in ``__all__`` must be bound at module
+  level (def/class/assignment/import), otherwise ``from m import *``
+  and re-export chains raise at a distance from the typo;
+* **no leaks** — every underscore-free name *defined* at module level
+  (functions, classes, assignments — imports are exempt, they are
+  implementation plumbing by convention) must appear in ``__all__``,
+  so the public surface cannot drift silently.
+
+Bindings inside top-level ``if``/``try`` blocks (version fallbacks,
+``TYPE_CHECKING``) count as module-level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..base import Finding, Rule, RuleContext
+
+__all__ = ["ExportsRule"]
+
+
+def _binding_names(target: ast.expr) -> Iterable[str]:
+    """Names bound by one assignment target (handles tuple unpacking)."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            yield node.id
+
+
+def _collect(
+    body: Iterable[ast.stmt],
+    defined: Set[str],
+    imported: Set[str],
+    assigns: List[Tuple[str, ast.stmt]],
+) -> None:
+    """Collect module-level bindings, descending into if/try/with blocks."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+            assigns.append((node.name, node))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    imported.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for name in _binding_names(target):
+                    defined.add(name)
+                    assigns.append((name, node))
+        elif isinstance(node, ast.If):
+            _collect(node.body, defined, imported, assigns)
+            _collect(node.orelse, defined, imported, assigns)
+        elif isinstance(node, ast.Try):
+            _collect(node.body, defined, imported, assigns)
+            for handler in node.handlers:
+                _collect(handler.body, defined, imported, assigns)
+            _collect(node.orelse, defined, imported, assigns)
+            _collect(node.finalbody, defined, imported, assigns)
+        elif isinstance(node, ast.With):
+            _collect(node.body, defined, imported, assigns)
+
+
+def _find_all(tree: ast.Module) -> Optional[Tuple[ast.stmt, List[str]]]:
+    """The module's ``__all__`` statement and its string entries, if any."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            return node, [el.value for el in value.elts]
+        return node, []
+    return None
+
+
+class ExportsRule(Rule):
+    """``__all__`` entries must exist; public definitions must be listed."""
+
+    code = "RPR004"
+    name = "all-consistency"
+    description = (
+        "__all__ names must be defined, and public module-level definitions "
+        "must be listed in __all__"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        found = _find_all(ctx.tree)
+        if found is None:
+            return
+        all_node, exported = found
+
+        defined: Set[str] = set()
+        imported: Set[str] = set()
+        assigns: List[Tuple[str, ast.stmt]] = []
+        _collect(ctx.tree.body, defined, imported, assigns)
+
+        findings: List[Finding] = []
+        bound = defined | imported
+        for name in exported:
+            if name not in bound:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        all_node,
+                        f"__all__ lists '{name}' which is not defined or "
+                        "imported at module level",
+                    )
+                )
+
+        listed = set(exported)
+        seen: Set[str] = set()
+        for name, node in assigns:
+            if (
+                name.startswith("_")
+                or name in listed
+                or name in seen
+                or name in imported
+            ):
+                continue
+            seen.add(name)
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"public name '{name}' is defined but missing from "
+                    "__all__ (export it or prefix with '_')",
+                )
+            )
+        yield from sorted(findings)

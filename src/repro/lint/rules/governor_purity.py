@@ -1,0 +1,88 @@
+"""RPR003 — governors actuate, they do not reach into the plant.
+
+A governor (``src/repro/governors/``) receives sensor samples and
+handles to actuation APIs (fan driver, DVFS ladder).  The control-loop
+contract is that it influences the plant *only* through those APIs —
+method calls like ``driver.set_duty(...)``.  Directly assigning
+attributes on objects it was handed (``package.die_temperature = 40``,
+``sensor.value = ...``) would bypass quantization, event logging and
+physics, and makes controller comparisons meaningless.
+
+Concretely: inside any function defined in a governors module, an
+assignment whose target is an attribute rooted at a *parameter* of that
+function (other than ``self``/``cls``) is flagged.  Attributes on
+``self`` and on locally-constructed objects remain fair game.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..base import Finding, Rule, RuleContext, function_params
+
+__all__ = ["GovernorPurityRule"]
+
+
+def _attribute_root(node: ast.expr) -> str:
+    """Name at the base of an attribute/subscript chain (else ``""``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+class GovernorPurityRule(Rule):
+    """Governors must not write attributes on objects they receive."""
+
+    code = "RPR003"
+    name = "governor-purity"
+    description = (
+        "governors may only actuate through APIs; no attribute writes on "
+        "received sensor/thermal/plant objects"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("governors"):
+            return
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(ctx, node))
+        yield from sorted(findings)
+
+    def _check_function(
+        self, ctx: RuleContext, func: ast.FunctionDef
+    ) -> List[Finding]:
+        params: Set[str] = set(function_params(func))
+        params.discard("self")
+        params.discard("cls")
+        if not params:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                # Tuple/starred unpacking can hide attribute targets too;
+                # only Store-context attributes are writes (the inner
+                # `a.b` of `a.b.c = x` is a Load).
+                for leaf in ast.walk(target):
+                    if not isinstance(leaf, ast.Attribute) or not isinstance(
+                        leaf.ctx, ast.Store
+                    ):
+                        continue
+                    root = _attribute_root(leaf)
+                    if root in params:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                leaf,
+                                f"governor writes '{ast.unparse(leaf)}' on "
+                                f"received object '{root}'; actuate through "
+                                "its API instead",
+                            )
+                        )
+        return findings

@@ -1,0 +1,73 @@
+"""RPR005 — no wildcard imports, no mutable default arguments.
+
+Two classic Python foot-guns with outsized blast radius in a simulator:
+
+* ``from m import *`` destroys the static import graph the other rules
+  (and human readers) rely on, and can silently rebind names like
+  ``clamp`` or ``ghz`` between modules;
+* a mutable default (``def f(history=[])``) is shared across *calls and
+  nodes*, which in this codebase means cross-node state bleeding —
+  exactly the isolation RngStreams exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..base import Finding, Rule, RuleContext
+
+__all__ = ["HygieneRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class HygieneRule(Rule):
+    """Flag ``import *`` and mutable default argument values."""
+
+    code = "RPR005"
+    name = "hygiene"
+    description = "no wildcard imports; no mutable default argument values"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if any(alias.name == "*" for alias in node.names):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"wildcard import from '{node.module or '.'}' "
+                            "hides the import graph; import names explicitly",
+                        )
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_literal(default):
+                        label = (
+                            "<lambda>"
+                            if isinstance(node, ast.Lambda)
+                            else node.name
+                        )
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                default,
+                                f"mutable default argument in '{label}' is "
+                                "shared across calls; default to None and "
+                                "construct inside the function",
+                            )
+                        )
+        yield from sorted(findings)

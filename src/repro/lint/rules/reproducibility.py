@@ -1,0 +1,45 @@
+"""RPR006 — every experiment entry point threads its seed.
+
+Experiment modules (``src/repro/experiments/``) are the reproduction's
+public record: each exposes ``run(...)`` returning the data behind one
+paper table or figure.  A ``run()`` without an explicit ``seed`` (or
+``rng``) parameter has no way to be replayed, so the rule requires one
+on every module-level ``run`` definition in an experiments module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Finding, Rule, RuleContext, function_params
+
+__all__ = ["ReproducibilityRule"]
+
+
+class ReproducibilityRule(Rule):
+    """Experiment ``run()`` must accept an explicit ``seed`` or ``rng``."""
+
+    code = "RPR006"
+    name = "experiment-reproducibility"
+    description = (
+        "module-level run() in experiments/ must take an explicit seed= or "
+        "rng= parameter"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("experiments"):
+            return
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "run"
+            ):
+                params = set(function_params(node))
+                if not params & {"seed", "rng"}:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "experiment run() has no seed=/rng= parameter; the "
+                        "run cannot be replayed deterministically",
+                    )

@@ -1,0 +1,115 @@
+"""RPR002 — canonical units at call boundaries.
+
+The library's unit contract (:mod:`repro.units`) is *fractions* for PWM
+duty cycles and *hertz* for CPU frequency.  The two historically common
+mistakes are passing datasheet-style percentages (``set_duty(75)``) and
+paper-style gigahertz (``hz=2.4``).  Both are detectable statically
+whenever the offending value is a literal:
+
+* a numeric literal **> 1** bound to a duty/PWM-shaped parameter
+  (keyword ``duty=``, ``max_duty=`` … or the first positional argument
+  of ``set_duty``-shaped calls) is almost certainly a percentage —
+  route it through :func:`repro.units.duty_from_percent`;
+* a numeric literal **< 1000** bound to a hertz-shaped keyword
+  (``hz=``, ``freq_hz=``…) is almost certainly GHz — route it through
+  :func:`repro.units.ghz`.
+
+Only literals are flagged; runtime values are the job of the validators
+in :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..base import Finding, Rule, RuleContext, dotted_name
+
+__all__ = ["UnitSafetyRule"]
+
+#: Keyword parameter names that carry fractional duty cycles.
+_DUTY_KEYWORD = re.compile(
+    r"^(?:max_|min_|initial_|target_|)?(?:duty|pwm)(?:_cycle|_fraction|_duty)?$"
+)
+#: Callables whose first positional argument is a fractional duty.
+_DUTY_CALL = re.compile(r"^set_(?:duty|pwm|fan_override)$")
+#: Keyword parameter names that carry frequencies in hertz.
+_HZ_KEYWORD = re.compile(r"^(?:hz|[a-z0-9_]*_hz)$")
+#: units.py boundary helpers — literals inside these are the fix, not a bug.
+_UNIT_HELPERS = {"duty_from_percent", "duty_to_percent", "ghz", "to_ghz"}
+
+
+def _numeric_literal(node: ast.expr) -> Optional[float]:
+    """The value of an int/float literal (bools excluded), else None."""
+    if isinstance(node, ast.Constant) and type(node.value) in (int, float):
+        return float(node.value)
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) in (int, float)
+    ):
+        return -float(node.operand.value)
+    return None
+
+
+class UnitSafetyRule(Rule):
+    """Flag percent-vs-fraction duty and GHz-vs-Hz frequency literals."""
+
+    code = "RPR002"
+    name = "unit-boundary"
+    description = (
+        "duty literals must be fractions in [0, 1] and *_hz literals must be "
+        "hertz; convert with units.duty_from_percent()/units.ghz()"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            tail = callee.rsplit(".", 1)[-1] if callee else ""
+            if tail in _UNIT_HELPERS:
+                continue
+
+            if _DUTY_CALL.match(tail) and node.args:
+                value = _numeric_literal(node.args[0])
+                if value is not None and value > 1.0:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.args[0],
+                            f"{tail}({value:g}) looks like a percent duty "
+                            "cycle; duty is a fraction in [0, 1] — use "
+                            "units.duty_from_percent()",
+                        )
+                    )
+
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                value = _numeric_literal(kw.value)
+                if value is None:
+                    continue
+                if _DUTY_KEYWORD.match(kw.arg) and value > 1.0:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            kw.value,
+                            f"{kw.arg}={value:g} looks like a percent duty "
+                            "cycle; duty is a fraction in [0, 1] — use "
+                            "units.duty_from_percent()",
+                        )
+                    )
+                elif _HZ_KEYWORD.match(kw.arg) and 0.0 < value < 1e3:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            kw.value,
+                            f"{kw.arg}={value:g} looks like GHz passed to a "
+                            "hertz parameter — use units.ghz()",
+                        )
+                    )
+        yield from sorted(findings)

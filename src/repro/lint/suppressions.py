@@ -1,0 +1,93 @@
+"""Inline suppression directives.
+
+Two comment forms are recognised, mirroring ``# noqa`` semantics:
+
+* ``# repro-lint: disable=RPR001,RPR004`` — suppress those codes for
+  findings anchored on the *same physical line* as the comment.
+  ``disable`` with no code list (or ``disable=all``) suppresses every
+  rule on that line.
+* ``# repro-lint: disable-file=RPR004`` — suppress the listed codes for
+  the whole file, wherever the comment appears.  Useful for module-
+  level diagnostics (``__all__`` checks) whose anchor line may be far
+  from the explanation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+from .base import Finding
+
+__all__ = ["Suppressions", "scan_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)"
+    r"(?:\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+?))?\s*(?:#|$)"
+)
+
+
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    def __init__(
+        self,
+        by_line: Dict[int, FrozenSet[str]],
+        file_wide: FrozenSet[str],
+    ) -> None:
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @staticmethod
+    def _covers(codes: FrozenSet[str], code: str) -> bool:
+        # An empty code set means "everything" (bare `disable`).
+        return not codes or "all" in codes or code in codes
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Is ``finding`` silenced by an inline directive?"""
+        if self._file_wide and self._covers(self._file_wide, finding.code):
+            return True
+        line_codes = self._by_line.get(finding.line)
+        if line_codes is None:
+            return False
+        return self._covers(line_codes, finding.code)
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        token.strip() for token in raw.split(",") if token.strip()
+    )
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract all suppression directives from ``source``.
+
+    The scan is line-based on purpose: directives live in comments, and
+    a comment inside a string literal that *looks* like a directive is
+    an acceptable (and vanishingly rare) false suppression compared to
+    the cost of a full tokenizer pass per file.
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    file_wide: Set[str] = set()
+    file_wide_all = False
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in text:
+            continue
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes") or "")
+        if match.group("kind") == "disable-file":
+            if not codes or "all" in codes:
+                file_wide_all = True
+            file_wide |= codes
+        else:
+            existing = by_line.get(lineno)
+            if existing is not None and (not existing or not codes):
+                by_line[lineno] = frozenset()
+            else:
+                by_line[lineno] = (existing or frozenset()) | codes
+    wide: FrozenSet[str] = (
+        frozenset({"all"}) if file_wide_all else frozenset(file_wide)
+    )
+    return Suppressions(by_line, wide)

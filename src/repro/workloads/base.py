@@ -40,6 +40,7 @@ __all__ = [
     "BarrierSegment",
     "RankProgram",
     "Job",
+    "WAIT_UTILIZATION",
 ]
 
 #: Utilization of a core spinning in an MPI progress loop while waiting.

@@ -33,6 +33,7 @@ __all__ = [
     "gradual_profile",
     "jitter_profile",
     "mixed_thermal_profile",
+    "UtilizationFn",
 ]
 
 #: A utilization profile: time (s) -> utilization in [0, 1].

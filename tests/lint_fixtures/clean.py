@@ -1,0 +1,21 @@
+"""Clean fixture — parses fine and trips no rule (exit code 0 path)."""
+
+from math import tau
+
+__all__ = ["SAMPLE_PERIOD", "spin", "Wheel"]
+
+SAMPLE_PERIOD = 0.25
+
+
+def spin(duty: float = 0.45, turns=None) -> float:
+    turns = [] if turns is None else turns
+    turns.append(duty * tau)
+    return sum(turns)
+
+
+class Wheel:
+    def __init__(self, duty: float = 1.0) -> None:
+        self.duty = duty
+
+    def rev_per_s(self) -> float:
+        return self.duty * 72.0

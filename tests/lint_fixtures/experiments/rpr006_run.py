@@ -1,0 +1,11 @@
+"""RPR006 fixture — an experiment run() that cannot be replayed."""
+
+__all__ = ["run", "render"]
+
+
+def run(quick: bool = False) -> dict:
+    return {"quick": quick}
+
+
+def render(result: dict) -> str:
+    return str(result)

@@ -1,0 +1,17 @@
+"""RPR003 fixture — a governor writing state onto the plant."""
+
+__all__ = ["CheatingGovernor"]
+
+
+class CheatingGovernor:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples = 0
+
+    def on_sample(self, sensor, package) -> None:
+        self.samples += 1
+        sensor.value = 40.0
+        package.die_temperature -= 5.0
+
+    def on_interval(self, node) -> None:
+        node.fan.rpm, self.samples = 0.0, 0

@@ -1,0 +1,26 @@
+"""RPR001 fixture — every ambient-entropy source the rule bans."""
+
+import random
+import time
+from datetime import datetime
+from random import randint
+
+import numpy as np
+
+__all__ = ["jitter", "stamp", "chaos"]
+
+
+def jitter() -> float:
+    return random.random() + randint(0, 3)
+
+
+def stamp() -> float:
+    started = time.time()
+    label = datetime.now()
+    return started, label
+
+
+def chaos() -> float:
+    rng = np.random.default_rng()
+    np.random.seed(0)
+    return rng.standard_normal() + time.time_ns()

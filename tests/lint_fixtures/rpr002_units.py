@@ -1,0 +1,13 @@
+"""RPR002 fixture — percent-vs-fraction and GHz-vs-Hz literals."""
+
+__all__ = ["misconfigure"]
+
+
+def misconfigure(driver, ladder, pstate) -> None:
+    driver.set_duty(75)
+    driver.set_fan_override(50.0)
+    ladder.capped(max_duty=80)
+    spin = driver.spin_up(duty=12.5)
+    pstate.transition(freq_hz=2.4)
+    pstate.retune(hz=800.0)
+    return spin

@@ -1,0 +1,13 @@
+"""RPR004 fixture — phantom exports and leaking public names."""
+
+__all__ = ["configure", "Ghost"]
+
+SAMPLE_PERIOD = 0.25
+
+
+def configure() -> float:
+    return SAMPLE_PERIOD
+
+
+def leaked_helper() -> None:
+    pass

@@ -1,0 +1,15 @@
+"""RPR005 fixture — wildcard import and mutable default arguments."""
+
+from os.path import *
+
+__all__ = ["record", "merge"]
+
+
+def record(value, history=[]):
+    history.append(value)
+    return history
+
+
+def merge(extra, into={}):
+    into.update(extra)
+    return into

@@ -1,0 +1,14 @@
+"""Suppression fixture — violations silenced by inline directives."""
+
+import time
+
+__all__ = ["wall_clock"]  # repro-lint: disable-file=RPR004
+
+
+def wall_clock() -> float:
+    now = time.time()  # repro-lint: disable=RPR001
+    return now
+
+
+def helper_not_exported() -> None:
+    pass

@@ -1,0 +1,443 @@
+"""Unit tests of the ``repro.lint`` rules, config and suppression layers.
+
+The fixture corpus (`tests/lint_fixtures/`) covers the end-to-end CLI
+contract; these tests pin rule-level edge cases by linting inline
+snippets written to ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from textwrap import dedent
+from typing import List
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintConfig,
+    PARSE_ERROR_CODE,
+    lint_file,
+    lint_paths,
+    load_config,
+    scan_suppressions,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+
+def lint_source(
+    tmp_path: Path,
+    source: str,
+    *,
+    relpath: str = "module.py",
+    config: LintConfig = LintConfig(),
+) -> List[Finding]:
+    """Write ``source`` under ``tmp_path`` and lint the file."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dedent(source))
+    return lint_file(target, config=config)
+
+
+def codes(findings: List[Finding]) -> List[str]:
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------- RPR001
+
+
+def test_rpr001_resolves_numpy_alias(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as xp
+        __all__ = ["f"]
+        def f():
+            return xp.random.default_rng()
+        """,
+    )
+    assert codes(findings) == ["RPR001"]
+    assert "default_rng" in findings[0].message
+
+
+def test_rpr001_seeded_default_rng_is_fine(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+        __all__ = ["f"]
+        def f(seed):
+            return np.random.default_rng(seed)
+        """,
+    )
+    assert findings == []
+
+
+def test_rpr001_perf_counter_allowed(tmp_path: Path) -> None:
+    """Monotonic reads are reporting-only and stay legal."""
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        __all__ = ["f"]
+        def f():
+            return time.perf_counter() + time.monotonic()
+        """,
+    )
+    assert findings == []
+
+
+def test_rpr001_from_import_time(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        from time import time
+        __all__ = ["f"]
+        def f():
+            return time()
+        """,
+    )
+    assert codes(findings) == ["RPR001"]
+
+
+def test_rpr001_exempt_via_per_file_ignores(tmp_path: Path) -> None:
+    """The default config exempts sim/rng.py — the sanctioned RNG home."""
+    source = """
+        import numpy as np
+        __all__ = ["fresh"]
+        def fresh():
+            return np.random.default_rng()
+        """
+    flagged = lint_source(tmp_path, source, relpath="sim/other.py")
+    exempt = lint_source(tmp_path, source, relpath="sim/rng.py")
+    assert codes(flagged) == ["RPR001"]
+    assert exempt == []
+
+
+# ---------------------------------------------------------------- RPR002
+
+
+def test_rpr002_literals_flagged_only_above_one(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["f"]
+        def f(driver):
+            driver.set_duty(0.75)      # fraction: fine
+            driver.set_duty(75)        # percent: flagged
+            driver.retune(max_duty=1.0)
+        """,
+    )
+    assert codes(findings) == ["RPR002"]
+    assert findings[0].line == 5
+
+
+def test_rpr002_unit_helpers_are_the_fix(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.units import duty_from_percent, ghz
+        __all__ = ["f"]
+        def f(driver, pstate):
+            driver.set_duty(duty_from_percent(75.0))
+            pstate.transition(freq_hz=ghz(2.4))
+        """,
+    )
+    assert findings == []
+
+
+def test_rpr002_hz_keyword(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["f"]
+        def f(pstate):
+            pstate.transition(freq_hz=2.4e9)   # hertz: fine
+            pstate.transition(freq_hz=2.4)     # GHz: flagged
+        """,
+    )
+    assert codes(findings) == ["RPR002"]
+    assert findings[0].line == 5
+
+
+# ---------------------------------------------------------------- RPR003
+
+
+def test_rpr003_only_applies_under_governors(tmp_path: Path) -> None:
+    source = """
+        __all__ = ["Gov"]
+        class Gov:
+            def on_sample(self, sensor):
+                sensor.value = 1.0
+        """
+    inside = lint_source(tmp_path, source, relpath="governors/gov.py")
+    outside = lint_source(tmp_path, source, relpath="core/gov.py")
+    assert codes(inside) == ["RPR003"]
+    assert outside == []
+
+
+def test_rpr003_self_and_locals_are_fine(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["Gov"]
+        class Gov:
+            def on_interval(self, node):
+                self.last = node
+                probe = object()
+                probe.mark = 1.0
+                node.fan.set_duty(0.5)
+        """,
+        relpath="governors/gov.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- RPR004
+
+
+def test_rpr004_conditional_bindings_count(tmp_path: Path) -> None:
+    """Version-fallback bindings inside try/except are module-level."""
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["loads"]
+        try:
+            from json import loads
+        except ImportError:
+            def loads(text):
+                return {}
+        """,
+    )
+    assert findings == []
+
+
+def test_rpr004_no_all_no_findings(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        PUBLIC_CONSTANT = 1
+        def helper():
+            pass
+        """,
+    )
+    assert findings == []
+
+
+def test_rpr004_imports_are_exempt_from_leak_check(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        from math import tau
+        import json
+        __all__ = ["f"]
+        def f():
+            return json.dumps(tau)
+        """,
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- RPR005
+
+
+def test_rpr005_kwonly_mutable_default(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["f"]
+        def f(*, history=[]):
+            return history
+        """,
+    )
+    assert codes(findings) == ["RPR005"]
+
+
+def test_rpr005_none_default_is_fine(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["f"]
+        def f(history=None, label=""):
+            return history, label
+        """,
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- RPR006
+
+
+def test_rpr006_rng_parameter_also_satisfies(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["run"]
+        def run(rng, quick=False):
+            return rng
+        """,
+        relpath="experiments/exp.py",
+    )
+    assert findings == []
+
+
+def test_rpr006_nested_run_ignored(tmp_path: Path) -> None:
+    """Only *module-level* run() is the experiment entry point."""
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["launch"]
+        def launch(seed):
+            def run():
+                return seed
+            return run()
+        """,
+        relpath="experiments/exp.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------- suppressions & config
+
+
+def test_inline_suppression_is_line_scoped(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        __all__ = ["f", "g"]
+        def f():
+            return time.time()  # repro-lint: disable=RPR001
+        def g():
+            return time.time()
+        """,
+    )
+    assert codes(findings) == ["RPR001"]
+    assert findings[0].line == 7
+
+
+def test_bare_disable_suppresses_everything_on_line(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        __all__ = ["f"]
+        def f():
+            return time.time()  # repro-lint: disable
+        """,
+    )
+    assert findings == []
+
+
+def test_disable_wrong_code_does_not_suppress(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        __all__ = ["f"]
+        def f():
+            return time.time()  # repro-lint: disable=RPR005
+        """,
+    )
+    assert codes(findings) == ["RPR001"]
+
+
+def test_scan_suppressions_disable_file() -> None:
+    sup = scan_suppressions("x = 1  # repro-lint: disable-file=RPR004\n")
+    assert sup.suppresses(
+        Finding(path="m.py", line=99, col=1, code="RPR004", message="")
+    )
+    assert not sup.suppresses(
+        Finding(path="m.py", line=99, col=1, code="RPR001", message="")
+    )
+
+
+def test_per_file_ignore_glob_from_pyproject(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        dedent(
+            """
+            [tool.repro-lint.per-file-ignores]
+            "legacy/*.py" = ["RPR005"]
+            """
+        )
+    )
+    config = load_config(pyproject)
+    source = """
+        __all__ = ["f"]
+        def f(history=[]):
+            return history
+        """
+    ignored = lint_source(tmp_path, source, relpath="legacy/old.py", config=config)
+    flagged = lint_source(tmp_path, source, relpath="fresh/new.py", config=config)
+    assert ignored == []
+    assert codes(flagged) == ["RPR005"]
+
+
+def test_global_disable_from_pyproject(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\ndisable = [\"RPR004\"]\n")
+    config = load_config(pyproject)
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["ghost"]
+        """,
+        config=config,
+    )
+    assert findings == []
+
+
+def test_select_narrows_rules(tmp_path: Path) -> None:
+    config = LintConfig(select=frozenset({"RPR005"}))
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        __all__ = ["f"]
+        def f(history=[]):
+            return time.time()
+        """,
+        config=config,
+    )
+    assert codes(findings) == ["RPR005"]
+
+
+def test_unknown_config_key_raises(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\nper_file_ignores = {}\n")
+    with pytest.raises(ValueError, match="unknown keys"):
+        load_config(pyproject)
+
+
+def test_syntax_error_reports_rpr000(tmp_path: Path) -> None:
+    findings = lint_source(tmp_path, "def broken(:\n")
+    assert codes(findings) == [PARSE_ERROR_CODE]
+
+
+def test_directory_walk_skips_excluded(tmp_path: Path) -> None:
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text("from os import *\n")
+    (tmp_path / "pkg" / "skipme").mkdir()
+    (tmp_path / "pkg" / "skipme" / "worse.py").write_text("from sys import *\n")
+    config = LintConfig(exclude=("skipme/*",))
+    findings = lint_paths([tmp_path / "pkg"], config=config)
+    assert codes(findings) == ["RPR005"]
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_explicit_file_bypasses_exclude(tmp_path: Path) -> None:
+    bad = tmp_path / "skipme" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("from os import *\n")
+    config = LintConfig(exclude=("skipme/*",))
+    findings = lint_paths([bad], config=config)
+    assert codes(findings) == ["RPR005"]
+
+
+def test_finding_render_format(tmp_path: Path) -> None:
+    findings = lint_source(tmp_path, "from os import *\n__all__ = []\n")
+    rendered = findings[0].render()
+    assert rendered.endswith("module.py:1:1: RPR005 wildcard import from 'os' hides the import graph; import names explicitly")

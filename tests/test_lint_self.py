@@ -1,0 +1,119 @@
+"""The tier-1 contract of ``repro.lint``: the tree is clean, the corpus is not.
+
+This is the self-hosting test the whole subsystem exists for: every rule
+runs over ``src/repro`` itself and must report nothing, while each
+known-bad fixture in ``tests/lint_fixtures/`` must make the CLI exit
+nonzero with ``file:line:col: RPRxxx`` output.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, load_config
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+#: fixture file (relative to FIXTURES) -> the one code it must trip
+BAD_FIXTURES = {
+    "rpr001_determinism.py": "RPR001",
+    "rpr002_units.py": "RPR002",
+    "governors/rpr003_purity.py": "RPR003",
+    "rpr004_exports.py": "RPR004",
+    "rpr005_hygiene.py": "RPR005",
+    "experiments/rpr006_run.py": "RPR006",
+}
+
+FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")
+
+
+def run_lint_cli(*args: str) -> subprocess.CompletedProcess:
+    """Invoke ``python -m repro.lint`` as a subprocess from the repo root."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_src_repro_is_clean_api() -> None:
+    """Every rule over the whole library: zero findings."""
+    config = load_config(ROOT / "pyproject.toml")
+    findings = lint_paths([SRC], config=config)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_src_repro_is_clean_cli_exit_zero() -> None:
+    result = run_lint_cli("src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "repro-lint: clean" in result.stdout
+
+
+@pytest.mark.parametrize("relpath,code", sorted(BAD_FIXTURES.items()))
+def test_bad_fixture_fails_cli(relpath: str, code: str) -> None:
+    """Each corpus file exits 1 and reports only its own rule's code."""
+    result = run_lint_cli(str(FIXTURES / relpath))
+    assert result.returncode == 1, result.stdout + result.stderr
+    finding_lines = [
+        line
+        for line in result.stdout.splitlines()
+        if not line.startswith("repro-lint:")
+    ]
+    assert finding_lines, result.stdout
+    for line in finding_lines:
+        assert FINDING_LINE.match(line), line
+        assert f" {code} " in line, line
+
+
+@pytest.mark.parametrize("relpath", ["clean.py", "suppressed.py"])
+def test_good_fixture_exits_zero(relpath: str) -> None:
+    result = run_lint_cli(str(FIXTURES / relpath))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_fixture_corpus_is_complete() -> None:
+    """Every registered rule has a known-bad fixture in the corpus."""
+    from repro.lint import ALL_RULES
+
+    covered = set(BAD_FIXTURES.values())
+    assert covered == {cls.code for cls in ALL_RULES}
+
+
+def test_list_rules_cli() -> None:
+    result = run_lint_cli("--list-rules")
+    assert result.returncode == 0
+    for code in BAD_FIXTURES.values():
+        assert code in result.stdout
+
+
+def test_missing_path_exits_two() -> None:
+    result = run_lint_cli("does/not/exist.py")
+    assert result.returncode == 2
+    assert "no such path" in result.stderr
+
+
+def test_repro_cli_lint_subcommand() -> None:
+    """``python -m repro lint`` forwards to the linter (acceptance path)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src/repro"],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "repro-lint: clean" in result.stdout
