@@ -1,0 +1,94 @@
+"""Baseline the runtime layer's fan-out and cache on the fig07 sweep.
+
+Times the Figure-7 four-cap sweep three ways — serially (``jobs=1``,
+the historical execution path), across a process pool, and out of a
+warm result cache — verifies the parallel results are identical to the
+serial ones, and writes ``BENCH_runtime.json`` so future PRs can
+compare against this PR's numbers::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick    # smoke
+
+The JSON records the run count, the wall time of each leg, the
+parallel and cache speedups, and the host's CPU count.  The parallel
+acceptance floor is a 1.5x speedup at ``--jobs 4`` — reachable only
+when the host actually has cores to fan out over (``cpus >= 2``); on a
+single-core host the pool can only add overhead, and the report says
+so rather than pretending otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import fig07_max_pwm
+from repro.runtime import DEFAULT_SEED, RunExecutor
+
+
+def _time_sweep(specs, jobs: int, cache_dir=None) -> float:
+    t0 = time.perf_counter()
+    RunExecutor(jobs=jobs, cache_dir=cache_dir).map(specs)
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4, metavar="N")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_runtime.json"),
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    specs = fig07_max_pwm.specs(seed=args.seed, quick=args.quick)
+    print(f"fig07 sweep: {len(specs)} runs, jobs={args.jobs}, cpus={cpus}")
+
+    serial_s = _time_sweep(specs, jobs=1)
+    print(f"serial   : {serial_s:7.2f}s")
+    parallel_s = _time_sweep(specs, jobs=args.jobs)
+    print(f"parallel : {parallel_s:7.2f}s")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        _time_sweep(specs, jobs=1, cache_dir=cache_dir)  # warm
+        cached_s = _time_sweep(specs, jobs=1, cache_dir=cache_dir)
+    print(f"cached   : {cached_s:7.2f}s")
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cache_speedup = serial_s / cached_s if cached_s > 0 else float("inf")
+    print(f"parallel speedup : {speedup:6.2f}x")
+    print(f"cache speedup    : {cache_speedup:6.2f}x")
+    if cpus < 2:
+        print(
+            "note: single-CPU host — process fan-out cannot beat serial "
+            "here; the parallel figure below is overhead, not capability"
+        )
+
+    payload = {
+        "benchmark": "fig07 max-PWM cap sweep",
+        "runs": len(specs),
+        "jobs": args.jobs,
+        "cpus": cpus,
+        "quick": args.quick,
+        "seed": args.seed,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "cached_wall_s": round(cached_s, 3),
+        "speedup": round(speedup, 3),
+        "cache_speedup": round(cache_speedup, 3),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,16 @@ Layering (bottom → top):
 * the paper's contribution: :mod:`repro.core`
 * complete daemons: :mod:`repro.governors`
 * measurement & reproduction: :mod:`repro.analysis`,
-  :mod:`repro.experiments`
+  :mod:`repro.runtime`, :mod:`repro.experiments`
+
+For sweep-shaped work, prefer the declarative layer over hand-rolled
+loops (see ``docs/architecture.md``)::
+
+    from repro import RunExecutor, RunSpec
+
+    spec = RunSpec.of("bt_b_4", {"iterations": 200},
+                      rigs=[("dynamic_fan", {"pp": 50})])
+    result = RunExecutor(jobs=4).run(spec)
 """
 
 from .cluster import Cluster, Node, RunResult
@@ -48,11 +57,15 @@ from .errors import ReproError
 
 __version__ = "1.0.0"
 
+from .runtime import RunExecutor, RunSpec  # noqa: E402  (needs __version__)
+
 __all__ = [
     "__version__",
     "Cluster",
     "Node",
     "RunResult",
+    "RunSpec",
+    "RunExecutor",
     "ClusterConfig",
     "NodeConfig",
     "Policy",

@@ -10,6 +10,8 @@
   the benchmark harnesses to print paper-style rows.
 * :mod:`repro.analysis.export` — CSV/JSON export of run artifacts for
   external plotting tools.
+* :mod:`repro.analysis.rows` — keyed lookup over collected result
+  rows (the shared replacement for per-experiment linear scans).
 """
 
 from .export import export_run, export_trace_csv
@@ -19,6 +21,7 @@ from .metrics import (
     frequency_residency,
     stabilization_time,
 )
+from .rows import lookup_row
 from .summarize import compare_runs, summarize_run
 from .tables import Table
 
@@ -32,4 +35,5 @@ __all__ = [
     "Table",
     "export_trace_csv",
     "export_run",
+    "lookup_row",
 ]

@@ -1,0 +1,53 @@
+"""Keyed lookup over lists of result-row dataclasses.
+
+Every sweep experiment collects per-configuration row objects and then
+needs "the row where max_duty == 0.50" while rendering.  Historically
+each module carried its own copy-pasted linear scan with a bespoke
+error message; :func:`lookup_row` is the one shared implementation.
+
+Criteria compare with ``==`` except floats, which use an absolute
+tolerance so callers can key on literals like ``0.1 + 0.2``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TypeVar
+
+__all__ = ["lookup_row"]
+
+_FLOAT_TOL = 1e-9
+
+_T = TypeVar("_T")
+
+
+def _matches(actual: object, expected: object) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        try:
+            return abs(float(actual) - float(expected)) <= _FLOAT_TOL
+        except (TypeError, ValueError):
+            return False
+    return actual == expected
+
+
+def lookup_row(rows: Iterable[_T], **criteria: object) -> _T:
+    """The unique row whose attributes match every keyword criterion.
+
+    Raises
+    ------
+    KeyError
+        If no row matches, listing the values available for each
+        criterion so the failure is self-diagnosing.  (Sweeps key rows
+        uniquely; the first match wins if a caller ever over-collects.)
+    """
+    if not criteria:
+        raise KeyError("lookup_row needs at least one criterion")
+    rows = list(rows)
+    for row in rows:
+        if all(_matches(getattr(row, k), v) for k, v in criteria.items()):
+            return row
+    available: List[str] = []
+    for key in criteria:
+        values = sorted({repr(getattr(r, key)) for r in rows})
+        available.append(f"{key} in {{{', '.join(values)}}}")
+    want = ", ".join(f"{k}={v!r}" for k, v in criteria.items())
+    raise KeyError(f"no row with {want}; available: {'; '.join(available)}")

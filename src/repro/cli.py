@@ -6,13 +6,17 @@ Usage::
     python -m repro run table1
     python -m repro run fig9 --quick --seed 7
     python -m repro run all --export results/
+    python -m repro run fig7 --jobs 4 --cache-dir .repro-cache
 
 Each experiment prints its paper-style table; ``all`` runs the whole
 evaluation section in order (several minutes of simulated cluster
 time, well under a minute of wall time each).  With ``--export DIR``
 each experiment also writes ``<name>.txt`` (the rendered table) and
 ``<name>.json`` (the raw result object) into ``DIR`` for downstream
-tooling.
+tooling.  ``--jobs N`` fans independent runs out over N worker
+processes and ``--cache-dir DIR`` reuses cached results across
+invocations; both are exact — output is byte-identical to a serial,
+uncached run.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from pathlib import Path
 from typing import Any, List, Optional
 
 from .experiments import REGISTRY
-from .experiments.platform import DEFAULT_SEED
+from .runtime import DEFAULT_SEED, RunExecutor
 
 __all__ = ["main", "build_parser", "to_jsonable"]
 
@@ -94,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write <name>.txt and <name>.json per experiment into DIR",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent runs (default 1: serial)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: no cache)",
+    )
 
     series_p = sub.add_parser(
         "series", help="regenerate a figure's raw curves as CSVs"
@@ -117,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="series_out",
         help="directory for the per-curve CSVs (default: series_out/)",
     )
+    series_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent runs (default 1: serial)",
+    )
+    series_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: no cache)",
+    )
 
     sub.add_parser(
         "lint",
@@ -127,11 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(
-    name: str, seed: int, quick: bool, export: Optional[str] = None
+    name: str,
+    seed: int,
+    quick: bool,
+    export: Optional[str] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> None:
     module, description = REGISTRY[name]
     t0 = time.perf_counter()
-    result = module.run(seed=seed, quick=quick)
+    result = module.run(seed=seed, quick=quick, executor=executor)
     elapsed = time.perf_counter() - t0
     rendered = module.render(result)
     print(f"== {name}: {description} ==")
@@ -176,7 +210,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .experiments.series import SERIES_REGISTRY
 
-        curves = SERIES_REGISTRY[args.figure](seed=args.seed, quick=args.quick)
+        executor = RunExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+        curves = SERIES_REGISTRY[args.figure](
+            seed=args.seed, quick=args.quick, executor=executor
+        )
         out_dir = Path(args.export)
         out_dir.mkdir(parents=True, exist_ok=True)
         for label, (times, values) in curves.items():
@@ -189,9 +226,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {path} ({len(times)} samples)")
         return 0
 
+    executor = RunExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, seed=args.seed, quick=args.quick, export=args.export)
+        _run_one(
+            name,
+            seed=args.seed,
+            quick=args.quick,
+            export=args.export,
+            executor=executor,
+        )
     return 0
 
 

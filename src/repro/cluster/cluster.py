@@ -25,7 +25,7 @@ Responsibilities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..config import ClusterConfig
@@ -59,6 +59,16 @@ class RunResult:
         Wall energy per node over the run, J.
     job_name:
         Name of the job that ran.
+    node_shutdown:
+        Whether each node THERMTRIP'd during the run (index-aligned;
+        empty on legacy constructions).
+    retired_cycles:
+        Work retired per node over the run, cycles.
+
+    The whole object is cheaply picklable (traces and events are
+    numpy/dataclass-backed with no references back into the live
+    cluster), which is what lets the runtime layer ship results across
+    process boundaries and cache them on disk.
     """
 
     execution_time: float
@@ -67,6 +77,8 @@ class RunResult:
     average_power: List[float]
     energy_joules: List[float]
     job_name: str
+    node_shutdown: List[bool] = field(default_factory=list)
+    retired_cycles: List[float] = field(default_factory=list)
 
     @property
     def cluster_average_power(self) -> float:
@@ -247,6 +259,8 @@ class Cluster:
             average_power=[n.meter.average_power for n in self.nodes],
             energy_joules=[n.meter.energy_joules for n in self.nodes],
             job_name=job.name,
+            node_shutdown=[n.is_shutdown for n in self.nodes],
+            retired_cycles=[float(n.core.retired_cycles) for n in self.nodes],
         )
 
     def run_for(self, duration: float) -> None:

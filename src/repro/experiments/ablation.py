@@ -36,14 +36,13 @@ from typing import List, Optional
 import numpy as np
 
 from ..analysis.tables import Table
-from ..governors.tdvfs import TDvfsParams
-from ..workloads.npb import bt_b_4
-from ..workloads.synthetic import gradual_profile, jitter_profile, sudden_profile
-from .platform import (
+from ..cluster.cluster import RunResult
+from ..runtime import (
     DEFAULT_SEED,
-    attach_dynamic_fan,
-    attach_tdvfs,
-    standard_cluster,
+    Measure,
+    RunExecutor,
+    RunSpec,
+    first_rise_delay,
 )
 
 __all__ = [
@@ -152,55 +151,57 @@ class AblationResult:
     split_rows: List[SplitPolicyRow]
 
 
-def _first_rise_delay(
-    duty_times: np.ndarray,
-    duty_values: np.ndarray,
-    step_time: float,
-    rise: float = 0.05,
-) -> float:
-    """Seconds after ``step_time`` until duty exceeds its pre-step level
-    by ``rise``; inf if never."""
-    before = duty_values[duty_times < step_time]
-    base = float(before[-1]) if before.size else float(duty_values[0])
-    after_mask = duty_times >= step_time
-    t_after = duty_times[after_mask]
-    v_after = duty_values[after_mask]
-    risen = np.where(v_after >= base + rise)[0]
-    if risen.size == 0:
-        return float("inf")
-    return float(t_after[int(risen[0])] - step_time)
+_WINDOW_SIZES = [2, 4, 8, 16]
+_L2_MODES = (True, False)
+_ESCALATION_MODES = (True, False)
+_SPLITS = ((50, 50), (25, 75), (75, 25))
 
 
-def window_size_sweep(
-    seed: int = DEFAULT_SEED,
-    sizes: Optional[List[int]] = None,
-    quick: bool = False,
+def _window_specs(seed: int, sizes: List[int], quick: bool) -> List[RunSpec]:
+    """Per L1 size: a Type-I step run and a Type-III jitter run."""
+    duration = 90.0 if quick else 180.0
+    step_time = duration / 3
+    out: List[RunSpec] = []
+    for l1 in sizes:
+        out.append(
+            RunSpec.of(
+                "sudden_profile",
+                {"step_time": step_time, "duration": duration},
+                rigs=[("dynamic_fan", {"pp": 50, "l1_size": l1})],
+                n_nodes=1,
+                seed=seed,
+                timeout=duration * 6,
+                quick=quick,
+            )
+        )
+        out.append(
+            RunSpec.of(
+                "jitter_profile",
+                {"duration": duration},
+                rigs=[("dynamic_fan", {"pp": 50, "l1_size": l1})],
+                n_nodes=1,
+                seed=seed,
+                timeout=duration * 6,
+                quick=quick,
+            )
+        )
+    return out
+
+
+def _window_rows(
+    sizes: List[int], quick: bool, results: List[RunResult]
 ) -> List[WindowSizeRow]:
-    """Measure sudden-response delay and jitter chasing per L1 size."""
-    if sizes is None:
-        sizes = [2, 4, 8, 16]
     duration = 90.0 if quick else 180.0
     step_time = duration / 3
     rows: List[WindowSizeRow] = []
-    for l1 in sizes:
-        # Type I: response delay to a sustained step.
-        cluster = standard_cluster(n_nodes=1, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, l1_size=l1)
-        job = sudden_profile(step_time=step_time, duration=duration).build()
-        result = cluster.run_job(job, timeout=duration * 6)
-        duty = result.traces["node0.duty"]
-        delay = _first_rise_delay(
+    for idx, l1 in enumerate(sizes):
+        sudden, jitter = results[2 * idx], results[2 * idx + 1]
+        duty = Measure(sudden).trace("duty")
+        delay = first_rise_delay(
             np.asarray(duty.times), np.asarray(duty.values), step_time
         )
 
-        # Type III: spurious movement under pure jitter.
-        cluster = standard_cluster(n_nodes=1, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, l1_size=l1)
-        job = jitter_profile(
-            duration=duration, rng=cluster.rngs.stream("jitter")
-        ).build()
-        result = cluster.run_job(job, timeout=duration * 6)
-        duty = result.traces["node0.duty"]
+        duty = Measure(jitter).trace("duty")
         v = np.asarray(duty.values)
         t = np.asarray(duty.times)
         # discard the warm-up third, where responding is correct
@@ -214,105 +215,132 @@ def window_size_sweep(
     return rows
 
 
-def l2_fallback_ablation(
-    seed: int = DEFAULT_SEED, quick: bool = False
-) -> List[L2FallbackRow]:
-    """Gradual-drift tracking with and without the level-two fallback."""
+def window_size_sweep(
+    seed: int = DEFAULT_SEED,
+    sizes: Optional[List[int]] = None,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> List[WindowSizeRow]:
+    """Measure sudden-response delay and jitter chasing per L1 size."""
+    if sizes is None:
+        sizes = _WINDOW_SIZES
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(_window_specs(seed, sizes, quick))
+    return _window_rows(sizes, quick, results)
+
+
+def _l2_specs(seed: int, quick: bool) -> List[RunSpec]:
     duration = 150.0 if quick else 300.0
+    return [
+        RunSpec.of(
+            "gradual_profile",
+            {"duration": duration},
+            rigs=[("dynamic_fan", {"pp": 50, "l2_when_l1_silent": enabled})],
+            n_nodes=1,
+            seed=seed,
+            timeout=duration * 6,
+            quick=quick,
+        )
+        for enabled in _L2_MODES
+    ]
+
+
+def _l2_rows(results: List[RunResult]) -> List[L2FallbackRow]:
     rows: List[L2FallbackRow] = []
-    for enabled in (True, False):
-        cluster = standard_cluster(n_nodes=1, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, l2_when_l1_silent=enabled)
-        job = gradual_profile(duration=duration).build()
-        result = cluster.run_job(job, timeout=duration * 6)
-        temp = result.traces["node0.temp"]
-        duty = result.traces["node0.duty"]
-        t_end = result.execution_time
+    for enabled, result in zip(_L2_MODES, results):
+        m = Measure(result)
         rows.append(
             L2FallbackRow(
                 l2_enabled=enabled,
-                final_temp=temp.window(t_end - 20.0, t_end).mean(),
-                final_duty=duty.window(t_end - 20.0, t_end).mean(),
+                final_temp=m.final_mean("temp", seconds=20.0),
+                final_duty=m.final_mean("duty", seconds=20.0),
+            )
+        )
+    return rows
+
+
+def l2_fallback_ablation(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> List[L2FallbackRow]:
+    """Gradual-drift tracking with and without the level-two fallback."""
+    executor = executor if executor is not None else RunExecutor()
+    return _l2_rows(executor.map(_l2_specs(seed, quick)))
+
+
+def _escalation_specs(seed: int, quick: bool) -> List[RunSpec]:
+    iterations = 70 if quick else 200
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[
+                ("dynamic_fan", {"pp": 50, "max_duty": 0.25}),
+                ("tdvfs", {"pp": 50, "escalate_threshold": escalate}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for escalate in _ESCALATION_MODES
+    ]
+
+
+def _escalation_rows(results: List[RunResult]) -> List[EscalationRow]:
+    rows: List[EscalationRow] = []
+    for escalate, result in zip(_ESCALATION_MODES, results):
+        m = Measure(result)
+        rows.append(
+            EscalationRow(
+                escalate=escalate,
+                freq_changes=result.dvfs_change_count(0),
+                min_ghz=m.trace("freq_ghz").min(),
+                execution_time=result.execution_time,
+                end_temp=m.final_mean("temp", seconds=15.0),
             )
         )
     return rows
 
 
 def escalation_ablation(
-    seed: int = DEFAULT_SEED, quick: bool = False
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
 ) -> List[EscalationRow]:
     """tDVFS with/without the depth-escalated threshold (BT, 25 % fan)."""
+    executor = executor if executor is not None else RunExecutor()
+    return _escalation_rows(executor.map(_escalation_specs(seed, quick)))
+
+
+def _split_specs(seed: int, quick: bool) -> List[RunSpec]:
     iterations = 70 if quick else 200
-    rows: List[EscalationRow] = []
-    for escalate in (True, False):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, max_duty=0.25)
-        attach_tdvfs(
-            cluster, pp=50, params=TDvfsParams(escalate_threshold=escalate)
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[
+                ("dynamic_fan", {"pp": fan_pp, "max_duty": 0.50}),
+                ("tdvfs", {"pp": dvfs_pp}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
         )
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
-        temp = result.traces["node0.temp"]
-        t_end = result.execution_time
-        freq = result.traces["node0.freq_ghz"]
-        rows.append(
-            EscalationRow(
-                escalate=escalate,
-                freq_changes=result.dvfs_change_count(0),
-                min_ghz=freq.min(),
-                execution_time=result.execution_time,
-                end_temp=temp.window(t_end - 15.0, t_end).mean(),
-            )
-        )
-    return rows
+        for fan_pp, dvfs_pp in _SPLITS
+    ]
 
 
-def split_policy_ablation(
-    seed: int = DEFAULT_SEED, quick: bool = False
-) -> List[SplitPolicyRow]:
-    """Shared vs independent P_p for the fan and DVFS halves.
-
-    The paper's hybrid (§4.4) applies one P_p to both techniques; this
-    study deliberately splits the knob (which our
-    :class:`~repro.governors.hybrid.HybridControl` refuses — the halves
-    are attached as separate governors here).
-    """
-    from ..core.policy import Policy
-    from ..governors.fan_dynamic import DynamicFanControl
-    from ..governors.tdvfs import TDvfs
-
-    iterations = 70 if quick else 200
+def _split_rows(results: List[RunResult]) -> List[SplitPolicyRow]:
     rows: List[SplitPolicyRow] = []
-    for fan_pp, dvfs_pp in ((50, 50), (25, 75), (75, 25)):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        for node in cluster.nodes:
-            cluster.add_governor(
-                node,
-                DynamicFanControl(
-                    node.make_fan_driver(max_duty=0.50),
-                    Policy(pp=fan_pp),
-                    events=cluster.events,
-                    name=f"{node.name}.fan-dynamic",
-                ),
-            )
-            cluster.add_governor(
-                node,
-                TDvfs(
-                    node.dvfs,
-                    Policy(pp=dvfs_pp),
-                    events=cluster.events,
-                    name=f"{node.name}.tdvfs",
-                ),
-            )
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
+    for (fan_pp, dvfs_pp), result in zip(_SPLITS, results):
         triggers = result.events.filter(category="tdvfs.trigger")
         rows.append(
             SplitPolicyRow(
                 fan_pp=fan_pp,
                 dvfs_pp=dvfs_pp,
                 execution_time=result.execution_time,
-                mean_temp=result.traces["node0.temp"].mean(),
+                mean_temp=Measure(result).mean("temp"),
                 first_trigger=triggers[0].time if triggers else None,
                 min_ghz=min(
                     (e.data["new_ghz"] for e in triggers), default=2.4
@@ -322,13 +350,46 @@ def split_policy_ablation(
     return rows
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> AblationResult:
-    """Run all four ablation studies."""
+def split_policy_ablation(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> List[SplitPolicyRow]:
+    """Shared vs independent P_p for the fan and DVFS halves.
+
+    The paper's hybrid (§4.4) applies one P_p to both techniques; this
+    study deliberately splits the knob (which our
+    :class:`~repro.governors.hybrid.HybridControl` refuses — the halves
+    are rigged as separate governors here).
+    """
+    executor = executor if executor is not None else RunExecutor()
+    return _split_rows(executor.map(_split_specs(seed, quick)))
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> AblationResult:
+    """Run all four ablation studies.
+
+    All sub-study specs are flattened into one executor map so a
+    parallel executor overlaps the studies, not just runs within one.
+    """
+    executor = executor if executor is not None else RunExecutor()
+    w = _window_specs(seed, _WINDOW_SIZES, quick)
+    l2 = _l2_specs(seed, quick)
+    esc = _escalation_specs(seed, quick)
+    split = _split_specs(seed, quick)
+    results = executor.map(w + l2 + esc + split)
+    i0 = len(w)
+    i1 = i0 + len(l2)
+    i2 = i1 + len(esc)
     return AblationResult(
-        window_rows=window_size_sweep(seed=seed, quick=quick),
-        l2_rows=l2_fallback_ablation(seed=seed, quick=quick),
-        escalation_rows=escalation_ablation(seed=seed, quick=quick),
-        split_rows=split_policy_ablation(seed=seed, quick=quick),
+        window_rows=_window_rows(_WINDOW_SIZES, quick, results[:i0]),
+        l2_rows=_l2_rows(results[i0:i1]),
+        escalation_rows=_escalation_rows(results[i1:i2]),
+        split_rows=_split_rows(results[i2:]),
     )
 
 

@@ -32,21 +32,17 @@ temperature, and gigacycles retired on the failed node — how much
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
 from ..analysis.thermal_stats import degree_seconds_above
-from ..core.policy import Policy
-from ..governors.cpuspeed import CpuSpeed
-from ..governors.fan_traditional import TraditionalFanControl
-from ..governors.hybrid import hybrid_governors
-from ..governors.ondemand import Ondemand
-from ..workloads.npb import NpbJob, NpbParams
-from .platform import DEFAULT_SEED, standard_cluster
+from ..runtime import DEFAULT_SEED, FaultSpec, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "EmergencyRow",
     "EmergencyResult",
+    "specs",
     "run",
     "render",
     "STRATEGIES",
@@ -104,82 +100,69 @@ class EmergencyResult:
 
     def row(self, strategy: str) -> EmergencyRow:
         """The row for a given strategy."""
-        for r in self.rows:
-            if r.strategy == strategy:
-                return r
-        raise KeyError(f"no row for strategy {strategy!r}")
+        return lookup_row(self.rows, strategy=strategy)
 
 
-def _long_job(cluster, horizon: float):
-    """A BT-class job guaranteed to outlast the horizon."""
-    iterations = int(horizon / 1.0) + 100
-    params = NpbParams(
-        name="BT-long",
-        n_ranks=4,
-        iterations=iterations,
-        compute_seconds=0.83,
-        comm_seconds=0.22,
-    )
-    return NpbJob(params, rng=cluster.rngs.stream("wl")).build()
+def _rigs_for(strategy: str):
+    if strategy == "stock":
+        return ["traditional_fan"]
+    if strategy == "ondemand":
+        return ["traditional_fan", "ondemand"]
+    if strategy == "cpuspeed":
+        return ["traditional_fan", "cpuspeed"]
+    return [("hybrid", {"pp": 50, "max_duty": 1.0})]
+
+
+def specs(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    fail_time: float = 40.0,
+) -> List[RunSpec]:
+    """One fault-injected spec per strategy, identical scenarios."""
+    horizon = 180.0 if quick else 420.0
+    return [
+        RunSpec.of(
+            "bt_long",
+            {"horizon": horizon},
+            rigs=_rigs_for(strategy),
+            n_nodes=4,
+            seed=seed,
+            fault=FaultSpec(
+                kind="fan_fail", node=0, at=fail_time, horizon=horizon
+            ),
+            quick=quick,
+        )
+        for strategy in STRATEGIES
+    ]
 
 
 def run(
     seed: int = DEFAULT_SEED,
     quick: bool = False,
     fail_time: float = 40.0,
+    executor: Optional[RunExecutor] = None,
 ) -> EmergencyResult:
-    """Run the fan-failure scenario under all three strategies."""
+    """Run the fan-failure scenario under all four strategies."""
     horizon = 180.0 if quick else 420.0
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick, fail_time=fail_time))
     rows: List[EmergencyRow] = []
-    for strategy in STRATEGIES:
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        for node in cluster.nodes:
-            if strategy == "stock":
-                cluster.add_governor(
-                    node, TraditionalFanControl(node.make_fan_driver())
-                )
-            elif strategy == "ondemand":
-                cluster.add_governor(
-                    node, TraditionalFanControl(node.make_fan_driver())
-                )
-                cluster.add_governor(
-                    node, Ondemand(node.core, events=cluster.events)
-                )
-            elif strategy == "cpuspeed":
-                cluster.add_governor(
-                    node, TraditionalFanControl(node.make_fan_driver())
-                )
-                cluster.add_governor(
-                    node, CpuSpeed(node.core, events=cluster.events)
-                )
-            else:
-                cluster.add_governor(
-                    node,
-                    hybrid_governors(
-                        node, Policy(pp=50), max_duty=1.0, events=cluster.events
-                    ),
-                )
-        cluster.bind_job(_long_job(cluster, horizon))
-        victim = cluster.nodes[0]
-        cluster.run_for(fail_time)
-        victim.fail_fan(t=cluster.engine.clock.now)
-        cluster.run_for(horizon - fail_time)
-
-        temp = cluster.traces["node0.temp"]
-        freq = cluster.traces["node0.freq_ghz"]
+    for strategy, result in zip(STRATEGIES, results):
+        m = Measure(result)
+        temp = m.trace("temp")
         rows.append(
             EmergencyRow(
                 strategy=strategy,
-                prochot_count=cluster.events.count(
+                prochot_count=result.events.count(
                     "hw.prochot.assert", source="node0"
                 ),
-                thermtrip=victim.is_shutdown,
+                thermtrip=result.node_shutdown[0],
                 max_temp=temp.max(),
-                retired_gcycles=victim.core.retired_cycles / 1e9,
-                tdvfs_triggers=cluster.events.count(
+                retired_gcycles=result.retired_cycles[0] / 1e9,
+                tdvfs_triggers=result.events.count(
                     "tdvfs.trigger", source="node0"
                 ),
-                final_ghz=float(freq.values[-1]),
+                final_ghz=float(m.trace("freq_ghz").values[-1]),
                 stress_ks=degree_seconds_above(temp, STRESS_THRESHOLD)
                 / 1000.0,
             )

@@ -18,14 +18,13 @@ phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import Table
 from ..core.classify import ThermalBehavior, classify_profile, classify_trace
-from ..workloads.synthetic import mixed_thermal_profile
-from .platform import DEFAULT_SEED, attach_constant_fan, standard_cluster
+from ..runtime import DEFAULT_SEED, RunExecutor, RunSpec
 
-__all__ = ["Fig2Result", "run", "render"]
+__all__ = ["Fig2Result", "specs", "run", "render"]
 
 
 @dataclass
@@ -55,7 +54,31 @@ class Fig2Result:
     phase_bounds: Dict[str, Tuple[float, float]]
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig2Result:
+def _duration(quick: bool) -> float:
+    return 120.0 if quick else 300.0
+
+
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """The single run this figure needs, as a declarative spec."""
+    duration = _duration(quick)
+    return [
+        RunSpec.of(
+            "mixed_thermal_profile",
+            {"duration": duration},
+            rigs=[("constant_fan", {"duty": 0.45})],
+            n_nodes=1,
+            seed=seed,
+            timeout=duration * 4,
+            quick=quick,
+        )
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig2Result:
     """Run the Figure-2 reproduction.
 
     Parameters
@@ -65,12 +88,12 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig2Result:
     quick:
         Shorten the profile (tests); full mode is 300 s like a
         cpu-burn-scale run.
+    executor:
+        Runtime executor (parallelism / caching); default serial.
     """
-    duration = 120.0 if quick else 300.0
-    cluster = standard_cluster(n_nodes=1, seed=seed)
-    attach_constant_fan(cluster, duty=0.45)
-    job = mixed_thermal_profile(duration=duration).build()
-    result = cluster.run_job(job, timeout=duration * 4)
+    duration = _duration(quick)
+    executor = executor if executor is not None else RunExecutor()
+    (result,) = executor.map(specs(seed=seed, quick=quick))
 
     temp = result.traces["node0.temp"]
     labels = classify_trace(temp.times, temp.values)

@@ -19,16 +19,16 @@ asserts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
 from ..core.classify import ThermalBehavior, classify_trace
-from ..workloads.cpuburn import cpu_burn_session
-from .platform import DEFAULT_SEED, attach_dynamic_fan, standard_cluster
+from ..runtime import DEFAULT_SEED, RunExecutor, RunSpec
 
-__all__ = ["Fig5Row", "Fig5Result", "run", "render"]
+__all__ = ["Fig5Row", "Fig5Result", "PPS", "specs", "run", "render"]
 
 
 @dataclass
@@ -73,10 +73,7 @@ class Fig5Result:
 
     def row(self, pp: int) -> Fig5Row:
         """The row for a given P_p."""
-        for r in self.rows:
-            if r.pp == pp:
-                return r
-        raise KeyError(f"no row for P_p={pp}")
+        return lookup_row(self.rows, pp=pp)
 
 
 def _duty_movement_by_label(
@@ -109,21 +106,37 @@ def _duty_movement_by_label(
     return out
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig5Result:
-    """Run the Figure-5 reproduction for P_p ∈ {75, 50, 25}."""
+PPS = (75, 50, 25)
+
+
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One cpu-burn session spec per policy value."""
     burn = 60.0 if quick else 300.0
     gap = 20.0 if quick else 40.0
-    rows: List[Fig5Row] = []
-    for pp in (75, 50, 25):
-        cluster = standard_cluster(n_nodes=1, seed=seed)
-        attach_dynamic_fan(cluster, pp=pp, max_duty=1.0)
-        job = cpu_burn_session(
-            instances=3,
-            burn_duration=burn,
-            gap_duration=gap,
-            rng=cluster.rngs.stream("cpu-burn"),
+    return [
+        RunSpec.of(
+            "cpu_burn_session",
+            {"instances": 3, "burn_duration": burn, "gap_duration": gap},
+            rigs=[("dynamic_fan", {"pp": pp, "max_duty": 1.0})],
+            n_nodes=1,
+            seed=seed,
+            timeout=8 * (3 * burn + 3 * gap) + 300,
+            quick=quick,
         )
-        result = cluster.run_job(job, timeout=8 * (3 * burn + 3 * gap) + 300)
+        for pp in PPS
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig5Result:
+    """Run the Figure-5 reproduction for P_p ∈ {75, 50, 25}."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
+    rows: List[Fig5Row] = []
+    for pp, result in zip(PPS, results):
         temp = result.traces["node0.temp"]
         duty = result.traces["node0.duty"]
         movement = _duty_movement_by_label(

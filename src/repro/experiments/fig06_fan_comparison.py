@@ -16,28 +16,25 @@ Findings reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..analysis.metrics import stabilization_time
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4
-from .platform import (
-    DEFAULT_SEED,
-    attach_constant_fan,
-    attach_dynamic_fan,
-    attach_traditional_fan,
-    standard_cluster,
-)
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Fig6Row",
     "Fig6Result",
+    "POLICIES",
+    "specs",
     "run",
     "render",
     "MAX_DUTY",
 ]
 
 MAX_DUTY = 0.75
+POLICIES = ("traditional", "dynamic", "constant")
 
 
 @dataclass
@@ -78,38 +75,52 @@ class Fig6Result:
 
     def row(self, policy: str) -> Fig6Row:
         """The row for a given policy name."""
-        for r in self.rows:
-            if r.policy == policy:
-                return r
-        raise KeyError(f"no row for policy {policy!r}")
+        return lookup_row(self.rows, policy=policy)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig6Result:
-    """Run the Figure-6 reproduction for all three fan policies."""
+def _rig_for(policy: str):
+    if policy == "traditional":
+        return ("traditional_fan", {"max_duty": MAX_DUTY})
+    if policy == "dynamic":
+        return ("dynamic_fan", {"pp": 50, "max_duty": MAX_DUTY})
+    return ("constant_fan", {"duty": MAX_DUTY})
+
+
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One BT.B.4 spec per fan policy."""
     iterations = 60 if quick else 200
-    rows: List[Fig6Row] = []
-    for policy in ("traditional", "dynamic", "constant"):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        if policy == "traditional":
-            attach_traditional_fan(cluster, max_duty=MAX_DUTY)
-        elif policy == "dynamic":
-            attach_dynamic_fan(cluster, pp=50, max_duty=MAX_DUTY)
-        else:
-            attach_constant_fan(cluster, duty=MAX_DUTY)
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[_rig_for(policy)],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for policy in POLICIES
+    ]
 
-        temp = result.traces["node0.temp"]
-        duty = result.traces["node0.duty"]
-        t_end = result.execution_time
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig6Result:
+    """Run the Figure-6 reproduction for all three fan policies."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
+    rows: List[Fig6Row] = []
+    for policy, result in zip(POLICIES, results):
+        m = Measure(result)
         rows.append(
             Fig6Row(
                 policy=policy,
-                final_temp=temp.window(t_end - 30.0, t_end).mean(),
-                max_temp=temp.max(),
-                stabilization=stabilization_time(temp),
-                mean_duty=duty.mean(),
-                late_duty=duty.window(t_end / 2, t_end).mean(),
+                final_temp=m.final_mean("temp"),
+                max_temp=m.peak("temp"),
+                stabilization=stabilization_time(m.trace("temp")),
+                mean_duty=m.mean("duty"),
+                late_duty=m.late_mean("duty"),
                 avg_power=result.average_power[0],
             )
         )

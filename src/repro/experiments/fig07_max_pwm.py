@@ -16,15 +16,16 @@ Findings reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4
-from .platform import DEFAULT_SEED, attach_dynamic_fan, standard_cluster
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Fig7Row",
     "Fig7Result",
+    "specs",
     "run",
     "render",
     "CAPS",
@@ -68,10 +69,7 @@ class Fig7Result:
 
     def row(self, max_duty: float) -> Fig7Row:
         """The row for a given cap."""
-        for r in self.rows:
-            if abs(r.max_duty - max_duty) < 1e-9:
-                return r
-        raise KeyError(f"no row for cap {max_duty}")
+        return lookup_row(self.rows, max_duty=max_duty)
 
     @property
     def spread(self) -> float:
@@ -79,25 +77,40 @@ class Fig7Result:
         return self.row(0.25).final_temp - self.row(1.00).final_temp
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig7Result:
-    """Run the Figure-7 sweep."""
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One BT.B.4 spec per maximum-PWM cap."""
     iterations = 60 if quick else 200
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[("dynamic_fan", {"pp": 50, "max_duty": cap})],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for cap in CAPS
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig7Result:
+    """Run the Figure-7 sweep."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
     rows: List[Fig7Row] = []
-    for cap in CAPS:
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, max_duty=cap)
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
-        temp = result.traces["node0.temp"]
-        duty = result.traces["node0.duty"]
-        t_end = result.execution_time
-        late_duty = duty.window(t_end / 2, t_end).mean()
+    for cap, result in zip(CAPS, results):
+        m = Measure(result)
+        late_duty = m.late_mean("duty")
         rows.append(
             Fig7Row(
                 max_duty=cap,
-                final_temp=temp.window(t_end - 30.0, t_end).mean(),
-                mean_temp=temp.mean(),
-                max_temp=temp.max(),
+                final_temp=m.final_mean("temp"),
+                mean_temp=m.mean("temp"),
+                max_temp=m.peak("temp"),
                 late_duty=late_duty,
                 cap_bound=late_duty >= cap - 0.02,
             )

@@ -21,17 +21,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..analysis.tables import Table
-from ..governors.tdvfs import TDvfsParams
-from ..workloads.npb import lu_a_4
-from .platform import (
-    DEFAULT_SEED,
-    attach_tdvfs,
-    attach_traditional_fan,
-    standard_cluster,
-)
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Fig8Result",
+    "specs",
     "run",
     "render",
     "MAX_DUTY",
@@ -75,16 +69,34 @@ class Fig8Result:
     frequency_path: List[Tuple[float, float]]
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig8Result:
-    """Run the Figure-8 reproduction."""
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """The single LU.A.4 + static-fan + tDVFS spec."""
     iterations = 90 if quick else 250
-    cluster = standard_cluster(n_nodes=4, seed=seed)
-    attach_traditional_fan(cluster, max_duty=MAX_DUTY)
-    attach_tdvfs(cluster, pp=50, params=TDvfsParams(threshold=THRESHOLD))
-    job = lu_a_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-    result = cluster.run_job(job, timeout=3600)
+    return [
+        RunSpec.of(
+            "lu_a_4",
+            {"iterations": iterations},
+            rigs=[
+                ("traditional_fan", {"max_duty": MAX_DUTY}),
+                ("tdvfs", {"pp": 50, "threshold": THRESHOLD}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+    ]
 
-    temp = result.traces["node0.temp"]
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig8Result:
+    """Run the Figure-8 reproduction."""
+    executor = executor if executor is not None else RunExecutor()
+    (result,) = executor.map(specs(seed=seed, quick=quick))
+
+    temp = Measure(result).trace("temp")
     triggers = result.events.filter(category="tdvfs.trigger", source="node0")
     restores = result.events.filter(category="tdvfs.restore", source="node0")
     changes = result.events.filter(category="dvfs.change", source="node0")

@@ -20,44 +20,24 @@ of the temperature over the final quarter of the run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional
 
-import numpy as np
-
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4
-from .platform import (
-    DEFAULT_SEED,
-    attach_cpuspeed,
-    attach_dynamic_fan,
-    attach_tdvfs,
-    standard_cluster,
-)
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Fig9Row",
     "Fig9Result",
+    "DAEMONS",
+    "specs",
     "run",
     "render",
     "MAX_DUTY",
 ]
 
 MAX_DUTY = 0.25
-
-
-def _late_slope(times: np.ndarray, values: np.ndarray) -> float:
-    """Least-squares temperature slope (K/s) over the final quarter."""
-    n = len(times)
-    if n < 8:
-        return 0.0
-    tail = slice(3 * n // 4, n)
-    t = times[tail]
-    v = values[tail]
-    t0 = t - t.mean()
-    denom = float(np.sum(t0 * t0))
-    if denom <= 0:
-        return 0.0
-    return float(np.sum(t0 * (v - v.mean())) / denom)
+DAEMONS = ("cpuspeed", "tdvfs")
 
 
 @dataclass
@@ -98,36 +78,48 @@ class Fig9Result:
 
     def row(self, daemon: str) -> Fig9Row:
         """The row for a given daemon name."""
-        for r in self.rows:
-            if r.daemon == daemon:
-                return r
-        raise KeyError(f"no row for daemon {daemon!r}")
+        return lookup_row(self.rows, daemon=daemon)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig9Result:
-    """Run the Figure-9 comparison."""
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One capped-fan BT.B.4 spec per in-band daemon."""
     iterations = 70 if quick else 200
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[
+                ("dynamic_fan", {"pp": 50, "max_duty": MAX_DUTY}),
+                (daemon, {} if daemon == "cpuspeed" else {"pp": 50}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for daemon in DAEMONS
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig9Result:
+    """Run the Figure-9 comparison."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
     rows: List[Fig9Row] = []
-    for daemon in ("cpuspeed", "tdvfs"):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, max_duty=MAX_DUTY)
-        if daemon == "cpuspeed":
-            attach_cpuspeed(cluster)
-        else:
-            attach_tdvfs(cluster, pp=50)
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
-        temp = result.traces["node0.temp"]
-        t_end = result.execution_time
+    for daemon, result in zip(DAEMONS, results):
+        m = Measure(result)
         triggers = result.events.filter(
             category="tdvfs.trigger", source="node0"
         )
         rows.append(
             Fig9Row(
                 daemon=daemon,
-                end_temp=temp.window(t_end - 15.0, t_end).mean(),
-                max_temp=temp.max(),
-                late_slope=_late_slope(np.asarray(temp.times), np.asarray(temp.values)),
+                end_temp=m.final_mean("temp", seconds=15.0),
+                max_temp=m.peak("temp"),
+                late_slope=m.late_slope("temp"),
                 freq_changes=result.dvfs_change_count(0),
                 scaling_path=[e.data["new_ghz"] for e in triggers],
             )

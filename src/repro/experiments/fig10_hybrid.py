@@ -27,13 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4
-from .platform import DEFAULT_SEED, attach_hybrid, standard_cluster
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Fig10Row",
     "Fig10Result",
+    "specs",
     "run",
     "render",
     "MAX_DUTY",
@@ -81,10 +82,7 @@ class Fig10Result:
 
     def row(self, pp: int) -> Fig10Row:
         """The row for a given P_p."""
-        for r in self.rows:
-            if r.pp == pp:
-                return r
-        raise KeyError(f"no row for P_p={pp}")
+        return lookup_row(self.rows, pp=pp)
 
     @property
     def performance_spread(self) -> float:
@@ -94,25 +92,41 @@ class Fig10Result:
         return (t25 - t75) / t75
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Fig10Result:
-    """Run the Figure-10 sweep over shared P_p values."""
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One hybrid BT.B.4 spec per shared P_p."""
     iterations = 70 if quick else 200
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[("hybrid", {"pp": pp, "max_duty": MAX_DUTY})],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for pp in PPS
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Fig10Result:
+    """Run the Figure-10 sweep over shared P_p values."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
     rows: List[Fig10Row] = []
-    for pp in PPS:
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_hybrid(cluster, pp=pp, max_duty=MAX_DUTY)
-        job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-        result = cluster.run_job(job, timeout=3600)
-        temp = result.traces["node0.temp"]
-        t_end = result.execution_time
+    for pp, result in zip(PPS, results):
+        m = Measure(result)
         triggers = result.events.filter(category="tdvfs.trigger")
         restores = result.events.filter(category="tdvfs.restore")
         rows.append(
             Fig10Row(
                 pp=pp,
                 execution_time=result.execution_time,
-                mean_temp=temp.mean(),
-                end_temp=temp.window(t_end - 15.0, t_end).mean(),
+                mean_temp=m.mean("temp"),
+                end_temp=m.final_mean("temp", seconds=15.0),
                 first_trigger=triggers[0].time if triggers else None,
                 min_ghz=min(
                     (e.data["new_ghz"] for e in triggers), default=2.4

@@ -25,14 +25,14 @@ What the study finds (and the benchmark asserts):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.tables import Table
-from .platform import DEFAULT_SEED
-from .table1_tdvfs_cpuspeed import CAPS, DAEMONS, Table1Result
-from .table1_tdvfs_cpuspeed import run as run_table1
+from ..runtime import DEFAULT_SEED, RunExecutor
+from .table1_tdvfs_cpuspeed import CAPS, DAEMONS, Table1Result, build_result
+from .table1_tdvfs_cpuspeed import specs as table1_specs
 
 __all__ = [
     "MetricSummary",
@@ -123,16 +123,27 @@ def _claims_for(result: Table1Result) -> Dict[str, bool]:
     }
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> RobustnessResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> RobustnessResult:
     """Rerun Table 1 across seeds and aggregate.
 
     ``seed`` replaces the first entry of the seed set, so a caller can
-    still steer the canonical run.
+    still steer the canonical run.  Every seed's Table-1 specs are
+    flattened into one executor map, so a parallel executor overlaps
+    runs across seeds, not just within one table.
     """
     base = QUICK_SEEDS if quick else FULL_SEEDS
     seeds = tuple(dict.fromkeys((seed,) + base[1:]))  # dedupe, keep order
+    executor = executor if executor is not None else RunExecutor()
+    flat = [spec for s in seeds for spec in table1_specs(seed=s, quick=quick)]
+    results = executor.map(flat)
+    width = len(flat) // len(seeds)
     per_seed: Dict[int, Table1Result] = {
-        s: run_table1(seed=s, quick=quick) for s in seeds
+        s: build_result(results[i * width : (i + 1) * width])
+        for i, s in enumerate(seeds)
     }
 
     summaries: Dict[Tuple[str, float, str], MetricSummary] = {}

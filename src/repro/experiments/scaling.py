@@ -23,16 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..thermal.ambient import ConstantAmbient
-from ..workloads.npb import NpbJob, NpbParams
-from .platform import DEFAULT_SEED, attach_hybrid, standard_cluster
-from ..cluster.cluster import Cluster
-from ..config import ClusterConfig
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "ScalingRow",
     "ScalingResult",
+    "specs",
     "run",
     "render",
     "RACK_GRADIENT",
@@ -81,55 +79,52 @@ class ScalingResult:
 
     def row(self, n_nodes: int) -> ScalingRow:
         """The row for a given cluster size."""
-        for r in self.rows:
-            if r.n_nodes == n_nodes:
-                return r
-        raise KeyError(f"no row for {n_nodes} nodes")
+        return lookup_row(self.rows, n_nodes=n_nodes)
 
 
-def _weak_scaled_bt(n_ranks: int, iterations: int, rng) -> NpbJob:
-    """A BT-like job weak-scaled to ``n_ranks`` (same per-node work)."""
-    params = NpbParams(
-        name=f"BT-weak.{n_ranks}",
-        n_ranks=n_ranks,
-        iterations=iterations,
-        compute_seconds=0.83,
-        comm_seconds=0.22,
-        comm_utilization=0.15,
-    )
-    return NpbJob(params, rng=rng)
+def _sizes(quick: bool, sizes: Optional[List[int]]) -> List[int]:
+    if sizes is not None:
+        return sizes
+    return [4, 8] if quick else [4, 8, 16, 32]
+
+
+def specs(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    sizes: Optional[List[int]] = None,
+) -> List[RunSpec]:
+    """One weak-scaled BT spec per cluster size, rack gradient applied."""
+    iterations = 50 if quick else 120
+    return [
+        RunSpec.of(
+            "bt_weak",
+            {"n_ranks": n, "iterations": iterations},
+            rigs=[("hybrid", {"pp": 50, "max_duty": 0.50})],
+            n_nodes=n,
+            seed=seed,
+            ambient=("rack_gradient", {"base": 28.0, "gradient": RACK_GRADIENT}),
+            quick=quick,
+        )
+        for n in _sizes(quick, sizes)
+    ]
 
 
 def run(
     seed: int = DEFAULT_SEED,
     quick: bool = False,
     sizes: Optional[List[int]] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> ScalingResult:
     """Run the weak-scaling sweep."""
-    if sizes is None:
-        sizes = [4, 8] if quick else [4, 8, 16, 32]
-    iterations = 50 if quick else 120
+    sizes = _sizes(quick, sizes)
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick, sizes=sizes))
     rows: List[ScalingRow] = []
-    for n in sizes:
-        def rack_ambient(i: int, n=n):
-            # Linear cold-aisle -> top-of-rack inlet gradient.
-            frac = i / max(1, n - 1)
-            return ConstantAmbient(28.0 + RACK_GRADIENT * frac)
-
-        cluster = Cluster(
-            ClusterConfig(n_nodes=n, seed=seed), ambient_factory=rack_ambient
-        )
-        attach_hybrid(cluster, pp=50, max_duty=0.50)
-        job = _weak_scaled_bt(
-            n, iterations, rng=cluster.rngs.stream("wl")
-        ).build()
-        result = cluster.run_job(job, timeout=3600)
-
-        end = result.execution_time
-        end_temps: Dict[int, float] = {}
-        for i in range(n):
-            temp = result.traces[f"node{i}.temp"]
-            end_temps[i] = temp.window(end - 15.0, end).mean()
+    for n, result in zip(sizes, results):
+        m = Measure(result)
+        end_temps: Dict[int, float] = {
+            i: m.final_mean("temp", seconds=15.0, node=i) for i in range(n)
+        }
         triggers = result.events.filter(category="tdvfs.trigger")
         top = sum(
             1

@@ -16,31 +16,20 @@ or from the command line::
     # writes out/fig9.<label>.csv, one two-column CSV per curve
 
 Each ``figNN_series`` function reruns the corresponding §4
-configuration and returns ``{label: (times_array, values_array)}``
-resampled to the paper's 4 Hz sample-point cadence.
+configuration through the runtime layer and returns ``{label:
+(times_array, values_array)}`` resampled to the paper's 4 Hz
+sample-point cadence.  All functions accept an ``executor`` so the CLI
+can share one parallel/cached :class:`~repro.runtime.RunExecutor`
+across figures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.policy import Policy
-from ..governors.tdvfs import TDvfsParams
-from ..workloads.cpuburn import cpu_burn_session
-from ..workloads.npb import bt_b_4, lu_a_4
-from ..workloads.synthetic import mixed_thermal_profile
-from .platform import (
-    DEFAULT_SEED,
-    attach_constant_fan,
-    attach_cpuspeed,
-    attach_dynamic_fan,
-    attach_hybrid,
-    attach_tdvfs,
-    attach_traditional_fan,
-    standard_cluster,
-)
+from ..runtime import DEFAULT_SEED, RunExecutor, RunSpec
 
 __all__ = [
     "fig02_series",
@@ -61,88 +50,137 @@ def _curve(trace) -> Curve:
     return np.asarray(trace.times), np.asarray(trace.values)
 
 
-def fig02_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def _executor(executor: Optional[RunExecutor]) -> RunExecutor:
+    return executor if executor is not None else RunExecutor()
+
+
+def fig02_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 2: the mixed sudden/gradual/jitter thermal profile."""
     duration = 120.0 if quick else 300.0
-    cluster = standard_cluster(n_nodes=1, seed=seed)
-    attach_constant_fan(cluster, duty=0.45)
-    result = cluster.run_job(
-        mixed_thermal_profile(duration=duration).build(), timeout=duration * 4
+    spec = RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": duration},
+        rigs=[("constant_fan", {"duty": 0.45})],
+        n_nodes=1,
+        seed=seed,
+        timeout=duration * 4,
+        quick=quick,
     )
+    result = _executor(executor).run(spec)
     return {"temperature": _curve(result.traces["node0.temp"])}
 
 
-def fig05_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def fig05_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 5: temperature (top) and PWM duty (bottom) per P_p."""
     burn = 60.0 if quick else 300.0
-    curves: Dict[str, Curve] = {}
-    for pp in (75, 50, 25):
-        cluster = standard_cluster(n_nodes=1, seed=seed)
-        attach_dynamic_fan(cluster, pp=pp, max_duty=1.0)
-        job = cpu_burn_session(
-            instances=3,
-            burn_duration=burn,
-            gap_duration=40.0,
-            rng=cluster.rngs.stream("cpu-burn"),
+    pps = (75, 50, 25)
+    specs = [
+        RunSpec.of(
+            "cpu_burn_session",
+            {"instances": 3, "burn_duration": burn, "gap_duration": 40.0},
+            rigs=[("dynamic_fan", {"pp": pp, "max_duty": 1.0})],
+            n_nodes=1,
+            seed=seed,
+            timeout=20 * burn + 600,
+            quick=quick,
         )
-        result = cluster.run_job(job, timeout=20 * burn + 600)
+        for pp in pps
+    ]
+    curves: Dict[str, Curve] = {}
+    for pp, result in zip(pps, _executor(executor).map(specs)):
         curves[f"temperature.pp{pp}"] = _curve(result.traces["node0.temp"])
         curves[f"pwm_duty.pp{pp}"] = _curve(result.traces["node0.duty"])
     return curves
 
 
-def fig06_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def fig06_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 6: temperature (a) and fan speed (b) per fan policy."""
     iterations = 60 if quick else 200
-    curves: Dict[str, Curve] = {}
-    for policy in ("traditional", "dynamic", "constant"):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        if policy == "traditional":
-            attach_traditional_fan(cluster, max_duty=0.75)
-        elif policy == "dynamic":
-            attach_dynamic_fan(cluster, pp=50, max_duty=0.75)
-        else:
-            attach_constant_fan(cluster, duty=0.75)
-        result = cluster.run_job(
-            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
-            timeout=3600,
+    policies = ("traditional", "dynamic", "constant")
+    rig_for = {
+        "traditional": ("traditional_fan", {"max_duty": 0.75}),
+        "dynamic": ("dynamic_fan", {"pp": 50, "max_duty": 0.75}),
+        "constant": ("constant_fan", {"duty": 0.75}),
+    }
+    specs = [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[rig_for[policy]],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
         )
+        for policy in policies
+    ]
+    curves: Dict[str, Curve] = {}
+    for policy, result in zip(policies, _executor(executor).map(specs)):
         curves[f"temperature.{policy}"] = _curve(result.traces["node0.temp"])
         curves[f"pwm_duty.{policy}"] = _curve(result.traces["node0.duty"])
     return curves
 
 
-def fig08_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def fig08_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 8: LU temperature + frequency under tDVFS/traditional fan."""
     iterations = 90 if quick else 250
-    cluster = standard_cluster(n_nodes=4, seed=seed)
-    attach_traditional_fan(cluster, max_duty=0.25)
-    attach_tdvfs(cluster, pp=50, params=TDvfsParams(threshold=51.0))
-    result = cluster.run_job(
-        lu_a_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
-        timeout=3600,
+    spec = RunSpec.of(
+        "lu_a_4",
+        {"iterations": iterations},
+        rigs=[
+            ("traditional_fan", {"max_duty": 0.25}),
+            ("tdvfs", {"pp": 50, "threshold": 51.0}),
+        ],
+        n_nodes=4,
+        seed=seed,
+        quick=quick,
     )
+    result = _executor(executor).run(spec)
     return {
         "temperature": _curve(result.traces["node0.temp"]),
         "frequency_ghz": _curve(result.traces["node0.freq_ghz"]),
     }
 
 
-def fig09_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def fig09_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 9: temperature under tDVFS vs CPUSPEED (25 %-capped fan)."""
     iterations = 70 if quick else 200
-    curves: Dict[str, Curve] = {}
-    for daemon in ("cpuspeed", "tdvfs"):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_dynamic_fan(cluster, pp=50, max_duty=0.25)
-        if daemon == "cpuspeed":
-            attach_cpuspeed(cluster)
-        else:
-            attach_tdvfs(cluster, pp=50)
-        result = cluster.run_job(
-            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
-            timeout=3600,
+    daemons = ("cpuspeed", "tdvfs")
+    specs = [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[
+                ("dynamic_fan", {"pp": 50, "max_duty": 0.25}),
+                (daemon, {} if daemon == "cpuspeed" else {"pp": 50}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
         )
+        for daemon in daemons
+    ]
+    curves: Dict[str, Curve] = {}
+    for daemon, result in zip(daemons, _executor(executor).map(specs)):
         curves[f"temperature.{daemon}"] = _curve(result.traces["node0.temp"])
         curves[f"frequency_ghz.{daemon}"] = _curve(
             result.traces["node0.freq_ghz"]
@@ -150,17 +188,27 @@ def fig09_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Cur
     return curves
 
 
-def fig10_series(seed: int = DEFAULT_SEED, quick: bool = False) -> Dict[str, Curve]:
+def fig10_series(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Curve]:
     """Figure 10: hybrid-control temperature per shared P_p."""
     iterations = 70 if quick else 200
-    curves: Dict[str, Curve] = {}
-    for pp in (25, 50, 75):
-        cluster = standard_cluster(n_nodes=4, seed=seed)
-        attach_hybrid(cluster, pp=pp, max_duty=0.50)
-        result = cluster.run_job(
-            bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations),
-            timeout=3600,
+    pps = (25, 50, 75)
+    specs = [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[("hybrid", {"pp": pp, "max_duty": 0.50})],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
         )
+        for pp in pps
+    ]
+    curves: Dict[str, Curve] = {}
+    for pp, result in zip(pps, _executor(executor).map(specs)):
         curves[f"temperature.pp{pp}"] = _curve(result.traces["node0.temp"])
         curves[f"frequency_ghz.pp{pp}"] = _curve(
             result.traces["node0.freq_ghz"]

@@ -20,21 +20,19 @@ Findings reproduced (see EXPERIMENTS.md for paper-vs-measured):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4
-from .platform import (
-    DEFAULT_SEED,
-    attach_cpuspeed,
-    attach_dynamic_fan,
-    attach_tdvfs,
-    standard_cluster,
-)
+from ..cluster.cluster import RunResult
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "Table1Cell",
     "Table1Result",
+    "configs",
+    "specs",
+    "build_result",
     "run",
     "render",
     "CAPS",
@@ -69,10 +67,7 @@ class Table1Result:
 
     def cell(self, daemon: str, max_duty: float) -> Table1Cell:
         """Look up one configuration."""
-        for c in self.cells:
-            if c.daemon == daemon and abs(c.max_duty - max_duty) < 1e-9:
-                return c
-        raise KeyError(f"no cell for ({daemon}, {max_duty})")
+        return lookup_row(self.cells, daemon=daemon, max_duty=max_duty)
 
     def pdp_winner(self, max_duty: float) -> str:
         """Which daemon has the lower power-delay product at this cap."""
@@ -82,32 +77,60 @@ class Table1Result:
         return min(cells, key=cells.get)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> Table1Result:
-    """Run all six Table-1 configurations."""
+def configs() -> List[Tuple[float, str]]:
+    """The six (cap, daemon) configurations in run order."""
+    return [(cap, daemon) for cap in CAPS for daemon in DAEMONS]
+
+
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """One spec per Table-1 configuration, in :func:`configs` order.
+
+    Public so cross-experiment harnesses (the robustness sweep) can
+    flatten several seeds' worth of specs into a single executor map.
+    """
     iterations = 70 if quick else 200
+    return [
+        RunSpec.of(
+            "bt_b_4",
+            {"iterations": iterations},
+            rigs=[
+                ("dynamic_fan", {"pp": 50, "max_duty": cap}),
+                (daemon, {} if daemon == "cpuspeed" else {"pp": 50}),
+            ],
+            n_nodes=4,
+            seed=seed,
+            quick=quick,
+        )
+        for cap, daemon in configs()
+    ]
+
+
+def build_result(results: Sequence[RunResult]) -> Table1Result:
+    """Assemble a :class:`Table1Result` from results in spec order."""
     cells: List[Table1Cell] = []
-    for cap in CAPS:
-        for daemon in DAEMONS:
-            cluster = standard_cluster(n_nodes=4, seed=seed)
-            attach_dynamic_fan(cluster, pp=50, max_duty=cap)
-            if daemon == "cpuspeed":
-                attach_cpuspeed(cluster)
-            else:
-                attach_tdvfs(cluster, pp=50)
-            job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=iterations)
-            result = cluster.run_job(job, timeout=3600)
-            cells.append(
-                Table1Cell(
-                    daemon=daemon,
-                    max_duty=cap,
-                    freq_changes=result.dvfs_change_count(0),
-                    execution_time=result.execution_time,
-                    avg_power=result.average_power[0],
-                    power_delay_product=result.power_delay_product(0),
-                    mean_temp=result.traces["node0.temp"].mean(),
-                )
+    for (cap, daemon), result in zip(configs(), results):
+        cells.append(
+            Table1Cell(
+                daemon=daemon,
+                max_duty=cap,
+                freq_changes=result.dvfs_change_count(0),
+                execution_time=result.execution_time,
+                avg_power=result.average_power[0],
+                power_delay_product=result.power_delay_product(0),
+                mean_temp=Measure(result).mean("temp"),
             )
+        )
     return Table1Result(cells=cells)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> Table1Result:
+    """Run all six Table-1 configurations."""
+    executor = executor if executor is not None else RunExecutor()
+    return build_result(executor.map(specs(seed=seed, quick=quick)))
 
 
 def render(result: Table1Result) -> str:

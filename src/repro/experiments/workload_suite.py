@@ -25,21 +25,16 @@ behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional
 
+from ..analysis.rows import lookup_row
 from ..analysis.tables import Table
-from ..workloads.npb import bt_b_4, cg_b_4, ep_b_4, mg_b_4
-from .platform import (
-    DEFAULT_SEED,
-    attach_cpuspeed,
-    attach_dynamic_fan,
-    attach_hybrid,
-    standard_cluster,
-)
+from ..runtime import DEFAULT_SEED, Measure, RunExecutor, RunSpec
 
 __all__ = [
     "SuiteRow",
     "SuiteResult",
+    "specs",
     "run",
     "render",
     "MAX_DUTY",
@@ -48,12 +43,12 @@ __all__ = [
 
 MAX_DUTY = 0.50
 
-#: Workload builders and full/quick iteration counts.
+#: Workload registry keys and full/quick iteration counts.
 WORKLOADS = {
-    "EP.B.4": (ep_b_4, 28, 6),
-    "BT.B.4": (bt_b_4, 200, 50),
-    "MG.B.4": (mg_b_4, 420, 110),
-    "CG.B.4": (cg_b_4, 260, 70),
+    "EP.B.4": ("ep_b_4", 28, 6),
+    "BT.B.4": ("bt_b_4", 200, 50),
+    "MG.B.4": ("mg_b_4", 420, 110),
+    "CG.B.4": ("cg_b_4", 260, 70),
 }
 
 
@@ -99,36 +94,55 @@ class SuiteResult:
 
     def row(self, workload: str) -> SuiteRow:
         """The row for a workload tag."""
-        for r in self.rows:
-            if r.workload == workload:
-                return r
-        raise KeyError(f"no row for {workload!r}")
+        return lookup_row(self.rows, workload=workload)
 
 
-def _run_stack(builder, iterations, seed, stack: str):
-    cluster = standard_cluster(n_nodes=4, seed=seed)
+def _stack_rigs(stack: str):
     if stack == "hybrid":
-        attach_hybrid(cluster, pp=50, max_duty=MAX_DUTY)
-    else:
-        attach_dynamic_fan(cluster, pp=50, max_duty=MAX_DUTY)
-        attach_cpuspeed(cluster)
-    job = builder(rng=cluster.rngs.stream("wl"), iterations=iterations)
-    return cluster.run_job(job, timeout=3600)
+        return [("hybrid", {"pp": 50, "max_duty": MAX_DUTY})]
+    return [
+        ("dynamic_fan", {"pp": 50, "max_duty": MAX_DUTY}),
+        ("cpuspeed", {}),
+    ]
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> SuiteResult:
-    """Run the whole suite under both control stacks."""
-    rows: List[SuiteRow] = []
-    for name, (builder, full_iters, quick_iters) in WORKLOADS.items():
+def specs(seed: int = DEFAULT_SEED, quick: bool = False) -> List[RunSpec]:
+    """Hybrid and CPUSPEED specs per workload, interleaved per suite row."""
+    out: List[RunSpec] = []
+    for workload, full_iters, quick_iters in WORKLOADS.values():
         iterations = quick_iters if quick else full_iters
-        hybrid = _run_stack(builder, iterations, seed, "hybrid")
-        cpuspeed = _run_stack(builder, iterations, seed, "cpuspeed")
+        for stack in ("hybrid", "cpuspeed"):
+            out.append(
+                RunSpec.of(
+                    workload,
+                    {"iterations": iterations},
+                    rigs=_stack_rigs(stack),
+                    n_nodes=4,
+                    seed=seed,
+                    quick=quick,
+                )
+            )
+    return out
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: Optional[RunExecutor] = None,
+) -> SuiteResult:
+    """Run the whole suite under both control stacks."""
+    executor = executor if executor is not None else RunExecutor()
+    results = executor.map(specs(seed=seed, quick=quick))
+    rows: List[SuiteRow] = []
+    for i, name in enumerate(WORKLOADS):
+        hybrid, cpuspeed = results[2 * i], results[2 * i + 1]
+        m_hybrid = Measure(hybrid)
         rows.append(
             SuiteRow(
                 workload=name,
-                mean_util=hybrid.traces["node0.util"].mean(),
-                hybrid_mean_temp=hybrid.traces["node0.temp"].mean(),
-                cpuspeed_mean_temp=cpuspeed.traces["node0.temp"].mean(),
+                mean_util=m_hybrid.mean("util"),
+                hybrid_mean_temp=m_hybrid.mean("temp"),
+                cpuspeed_mean_temp=Measure(cpuspeed).mean("temp"),
                 hybrid_energy_kj=hybrid.energy_joules[0] / 1000.0,
                 cpuspeed_energy_kj=cpuspeed.energy_joules[0] / 1000.0,
                 hybrid_changes=hybrid.dvfs_change_count(0),

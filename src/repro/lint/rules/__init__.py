@@ -16,6 +16,7 @@ from .exports import ExportsRule
 from .governor_purity import GovernorPurityRule
 from .hygiene import HygieneRule
 from .reproducibility import ReproducibilityRule
+from .runtime_boundary import RuntimeBoundaryRule
 from .unit_safety import UnitSafetyRule
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "ExportsRule",
     "HygieneRule",
     "ReproducibilityRule",
+    "RuntimeBoundaryRule",
 ]
 
 #: Ordered rule plugin table (report order follows registration order).
@@ -38,6 +40,7 @@ ALL_RULES: List[Type[Rule]] = [
     ExportsRule,
     HygieneRule,
     ReproducibilityRule,
+    RuntimeBoundaryRule,
 ]
 
 #: Code → rule class lookup.

@@ -1,0 +1,64 @@
+"""RPR007 — experiments go through the runtime layer, not the cluster.
+
+Experiment modules (``src/repro/experiments/``) describe *what* to run
+as declarative :class:`~repro.runtime.RunSpec` lists and hand them to a
+:class:`~repro.runtime.RunExecutor`.  Building a ``Cluster(...)`` or
+driving it with ``cluster.run_job(...)`` / ``cluster.run_for(...)``
+inside an experiment bypasses the executor — the run can no longer be
+parallelised, cached or deduplicated, and its configuration escapes the
+spec hash that makes results content-addressable.
+
+``experiments/platform.py`` is the one sanctioned home for cluster
+construction (it hosts the rig/workload registries the runtime resolves
+names against), so it is exempt; modules outside ``experiments/`` —
+including ``repro.runtime`` itself — are out of scope entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Finding, Rule, RuleContext, dotted_name
+
+__all__ = ["RuntimeBoundaryRule"]
+
+#: Cluster-driving methods experiments must not call directly.
+_DRIVE_METHODS = frozenset({"run_job", "run_for"})
+
+
+class RuntimeBoundaryRule(Rule):
+    """Experiments must not construct or drive a Cluster directly."""
+
+    code = "RPR007"
+    name = "runtime-boundary"
+    description = (
+        "experiment modules must not call Cluster(...) or run_job()/"
+        "run_for() directly; build RunSpecs and use a RunExecutor "
+        "(platform.py exempt)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("experiments"):
+            return
+        if ctx.path.name == "platform.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = dotted_name(func)
+            if name.rpartition(".")[2] == "Cluster":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"experiment constructs '{name}(...)' directly; "
+                    "declare a RunSpec and run it through a RunExecutor",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr in _DRIVE_METHODS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"experiment drives the cluster via '.{func.attr}(...)'; "
+                    "declare a RunSpec and run it through a RunExecutor",
+                )

@@ -1,0 +1,89 @@
+"""Materialize a :class:`RunSpec` into a live simulation and run it.
+
+:func:`execute_spec` is the single bridge from the declarative layer to
+the simulator: it resolves registry names
+(:mod:`repro.experiments.platform`), assembles the cluster, riggs the
+governors, builds the workload and runs the protocol the spec calls
+for — job-to-completion (the normal case) or a fixed fault horizon.
+
+It is a module-level function of one picklable argument precisely so
+:class:`~repro.runtime.executor.RunExecutor` can ship it to worker
+processes; determinism across process boundaries follows from the
+simulator being a pure function of the spec (seeded named RNG streams,
+no ambient entropy — enforced by ``repro.lint`` RPR001).
+"""
+
+from __future__ import annotations
+
+from ..cluster.cluster import Cluster, RunResult
+from ..config import ClusterConfig
+from ..errors import ConfigurationError
+from .spec import RunSpec
+
+__all__ = ["execute_spec"]
+
+
+def _resolve(registry: dict, kind: str, name: str):
+    """Look up ``name`` in a registry, failing with the available keys."""
+    try:
+        return registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown {kind} {name!r}; available: {sorted(registry)}"
+        ) from None
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run the simulation a spec names and return its result.
+
+    The import of :mod:`repro.experiments.platform` is deferred to call
+    time: the experiments layer imports the runtime layer, so the
+    registries must be resolved lazily to keep the import graph acyclic
+    (and so worker processes resolve them against their own fresh
+    interpreter state).
+    """
+    from ..experiments import platform as registries
+
+    ambient_factory = None
+    if spec.ambient is not None:
+        maker = _resolve(
+            registries.AMBIENT_REGISTRY, "ambient model", spec.ambient.name
+        )
+        ambient_factory = maker(spec.n_nodes, **dict(spec.ambient.params))
+
+    cluster = Cluster(
+        ClusterConfig(n_nodes=spec.n_nodes, seed=spec.seed),
+        ambient_factory=ambient_factory,
+    )
+    for rig in spec.rigs:
+        attach = _resolve(registries.RIG_REGISTRY, "rig", rig.name)
+        attach(cluster, **dict(rig.params))
+
+    make_job = _resolve(registries.WORKLOAD_REGISTRY, "workload", spec.workload)
+    job = make_job(cluster, **dict(spec.workload_params))
+
+    if spec.fault is None:
+        return cluster.run_job(job, timeout=spec.timeout, tail=spec.tail)
+    return _execute_fault(cluster, job, spec)
+
+
+def _execute_fault(cluster: Cluster, job, spec: RunSpec) -> RunResult:
+    """The fault protocol: run to ``at``, inject, ride out the horizon."""
+    fault = spec.fault
+    if fault.kind != "fan_fail":
+        raise ConfigurationError(f"unknown fault kind {fault.kind!r}")
+    cluster.bind_job(job)
+    cluster.run_for(fault.at)
+    victim = cluster.node(fault.node)
+    victim.fail_fan(t=cluster.engine.clock.now)
+    cluster.run_for(fault.horizon - fault.at)
+    return RunResult(
+        execution_time=fault.horizon,
+        traces=cluster.traces,
+        events=cluster.events,
+        average_power=[n.meter.average_power for n in cluster.nodes],
+        energy_joules=[n.meter.energy_joules for n in cluster.nodes],
+        job_name=job.name,
+        node_shutdown=[n.is_shutdown for n in cluster.nodes],
+        retired_cycles=[float(n.core.retired_cycles) for n in cluster.nodes],
+    )

@@ -1,0 +1,178 @@
+"""Spec → result mapping with process fan-out and result caching.
+
+:class:`RunExecutor` is how every experiment, benchmark and CLI
+invocation runs simulations:
+
+.. code-block:: python
+
+    executor = RunExecutor(jobs=4, cache_dir=".repro-cache")
+    results = executor.map(specs)        # order matches specs
+
+Three properties the rest of the repo builds on:
+
+* **Determinism** — a spec's result is identical whether it ran
+  serially, in a worker process, or came out of the cache (the
+  simulator is a pure function of the spec; see
+  :mod:`repro.runtime.execute`).  ``jobs=1`` is the default, so
+  tier-1 behaviour is exactly the historical serial path.
+* **Fan-out** — with ``jobs=N`` uncached specs are distributed over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; sweeps cost the
+  wall-clock of their slowest member, not their sum.
+* **Caching** — with ``cache_dir`` set, results are pickled under a
+  content hash of (spec, package version), so re-running the same
+  configuration across the CLI, tests and benchmarks simulates once.
+  Off by default.  Version bumps invalidate every entry.
+
+Identical specs inside one ``map`` call are also deduplicated: the run
+happens once and the same result object is returned at each position.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..cluster.cluster import RunResult
+from .execute import execute_spec
+from .spec import RunSpec
+
+__all__ = ["ExecutorStats", "RunExecutor"]
+
+
+@dataclass
+class ExecutorStats:
+    """Counters for one executor's lifetime (cache efficacy, fan-out)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for JSON reports)."""
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "deduplicated": self.deduplicated,
+        }
+
+
+@dataclass
+class RunExecutor:
+    """Maps :class:`RunSpec` lists to :class:`RunResult` lists.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs serially in-process,
+        preserving the historical execution path exactly.
+    cache_dir:
+        Directory for the content-addressed result cache; ``None``
+        (default) disables caching.  Created on first write.
+    cache_version:
+        Version string folded into cache digests; defaults to the
+        installed package version.  Exposed so tests can model a
+        version bump without reinstalling.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    cache_version: Optional[str] = None
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+
+    def __post_init__(self) -> None:
+        self.jobs = max(1, int(self.jobs))
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        if self.cache_version is None:
+            from .. import __version__
+
+            self.cache_version = __version__
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Run (or fetch) a single spec."""
+        return self.map([spec])[0]
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Run every spec, returning results in spec order.
+
+        Cached results are loaded first; the remaining specs run
+        serially (``jobs=1``) or across a process pool, then populate
+        the cache.  Duplicate specs execute once.
+        """
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        # Deduplicate: first index holding each distinct spec runs it.
+        primary: Dict[RunSpec, int] = {}
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            if spec in primary:
+                self.stats.deduplicated += 1
+                continue
+            primary[spec] = i
+            cached = self._cache_load(spec)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[i] = cached
+            else:
+                pending.append(i)
+
+        if pending:
+            fresh = self._execute_all([specs[i] for i in pending])
+            for i, result in zip(pending, fresh):
+                results[i] = result
+                if self.cache_dir is not None:
+                    self.stats.cache_misses += 1
+                    self._cache_store(specs[i], result)
+            self.stats.executed += len(pending)
+
+        for i, spec in enumerate(specs):
+            if results[i] is None:
+                results[i] = results[primary[spec]]
+        return results
+
+    # -- execution -------------------------------------------------------
+
+    def _execute_all(self, specs: List[RunSpec]) -> List[RunResult]:
+        """Run specs serially or across the process pool."""
+        if self.jobs == 1 or len(specs) == 1:
+            return [execute_spec(spec) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_spec, specs))
+
+    # -- cache -----------------------------------------------------------
+
+    def _cache_path(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{spec.digest(version=self.cache_version)}.pkl"
+
+    def _cache_load(self, spec: RunSpec) -> Optional[RunResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(spec)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            # A truncated or stale entry is a miss, not an error.
+            return None
+
+    def _cache_store(self, spec: RunSpec, result: RunResult) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(spec)
+        # Write-then-rename so concurrent processes never observe a
+        # partial pickle (os.replace is atomic on POSIX and Windows).
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)

@@ -1,0 +1,132 @@
+"""Shared measurement boilerplate over :class:`RunResult` traces.
+
+Every experiment derives its table rows from the same handful of
+trace-window reductions — "mean of the last 30 s", "settled duty over
+the second half", "least-squares slope of the final quarter".  Before
+the runtime layer each module re-spelled these against raw traces;
+:class:`Measure` centralizes them so a row builder reads as the
+quantity it reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.cluster import RunResult
+from ..sim.trace import Trace
+
+__all__ = [
+    "Measure",
+    "late_quarter_slope",
+    "first_rise_delay",
+]
+
+
+def late_quarter_slope(times: np.ndarray, values: np.ndarray) -> float:
+    """Least-squares slope (units/s) over the final quarter of a series.
+
+    The paper's "still climbing vs stabilized" contrast (Figure 9):
+    positive means the quantity was still rising when the run ended.
+    Returns 0 for series too short to fit.
+    """
+    n = len(times)
+    if n < 8:
+        return 0.0
+    tail = slice(3 * n // 4, n)
+    t = times[tail]
+    v = values[tail]
+    t0 = t - t.mean()
+    denom = float(np.sum(t0 * t0))
+    if denom <= 0:
+        return 0.0
+    return float(np.sum(t0 * (v - v.mean())) / denom)
+
+
+def first_rise_delay(
+    times: np.ndarray,
+    values: np.ndarray,
+    step_time: float,
+    rise: float = 0.05,
+) -> float:
+    """Seconds after ``step_time`` until the series exceeds its pre-step
+    level by ``rise``; inf if it never does.
+
+    Used by the window-size ablation to time the fan's reaction to a
+    Type-I (sudden) load step.
+    """
+    before = values[times < step_time]
+    base = float(before[-1]) if before.size else float(values[0])
+    after_mask = times >= step_time
+    t_after = times[after_mask]
+    v_after = values[after_mask]
+    risen = np.where(v_after >= base + rise)[0]
+    if risen.size == 0:
+        return float("inf")
+    return float(t_after[int(risen[0])] - step_time)
+
+
+class Measure:
+    """Window/metric reductions over one run's standard trace set.
+
+    Parameters
+    ----------
+    result:
+        The run to measure.
+    node:
+        Default node index for all signal lookups (overridable per
+        call with ``node=``).
+    """
+
+    def __init__(self, result: RunResult, node: int = 0) -> None:
+        self.result = result
+        self.node = node
+
+    @property
+    def t_end(self) -> float:
+        """The run's execution time, s (the window anchors below)."""
+        return self.result.execution_time
+
+    def trace(self, signal: str, node: Optional[int] = None) -> Trace:
+        """The ``node{i}.{signal}`` trace (temp/duty/rpm/freq_ghz/power/util)."""
+        i = self.node if node is None else node
+        return self.result.traces[f"node{i}.{signal}"]
+
+    def window_mean(
+        self,
+        signal: str,
+        t0: float,
+        t1: float,
+        node: Optional[int] = None,
+    ) -> float:
+        """Mean of ``signal`` over ``[t0, t1]``."""
+        return self.trace(signal, node).window(t0, t1).mean()
+
+    def final_mean(
+        self,
+        signal: str = "temp",
+        seconds: float = 30.0,
+        node: Optional[int] = None,
+    ) -> float:
+        """Mean of the last ``seconds`` of the run — the stabilized level."""
+        return self.window_mean(signal, self.t_end - seconds, self.t_end, node)
+
+    def late_mean(self, signal: str = "duty", node: Optional[int] = None) -> float:
+        """Mean over the second half of the run — the settled level."""
+        return self.window_mean(signal, self.t_end / 2, self.t_end, node)
+
+    def mean(self, signal: str = "temp", node: Optional[int] = None) -> float:
+        """Whole-run mean of ``signal``."""
+        return self.trace(signal, node).mean()
+
+    def peak(self, signal: str = "temp", node: Optional[int] = None) -> float:
+        """Whole-run maximum of ``signal``."""
+        return self.trace(signal, node).max()
+
+    def late_slope(self, signal: str = "temp", node: Optional[int] = None) -> float:
+        """Final-quarter least-squares slope of ``signal``, units/s."""
+        trace = self.trace(signal, node)
+        return late_quarter_slope(
+            np.asarray(trace.times), np.asarray(trace.values)
+        )

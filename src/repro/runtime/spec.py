@@ -1,0 +1,222 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` *names* one cluster simulation — platform size,
+seed, workload, governor rigging, optional ambient model and fault
+injection — without holding any live objects, so it is frozen,
+hashable, comparable and picklable.  Specs are the currency of the
+runtime layer: experiments build lists of them and hand the lists to a
+:class:`~repro.runtime.executor.RunExecutor`, which maps each spec to a
+:class:`~repro.cluster.cluster.RunResult` (serially, in a process
+pool, or out of an on-disk cache).
+
+Workloads, rigs and ambients are referenced **by registry name** (see
+the ``WORKLOAD_REGISTRY`` / ``RIG_REGISTRY`` / ``AMBIENT_REGISTRY``
+tables in :mod:`repro.experiments.platform`); parameters are frozen to
+sorted ``(key, value)`` tuples so a spec's hash is stable across
+processes and sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Params",
+    "FaultSpec",
+    "RigSpec",
+    "RunSpec",
+    "freeze_params",
+    "specs_table",
+]
+
+#: Seed all paper-reproduction runs use unless overridden.
+DEFAULT_SEED = 20100913
+
+#: Frozen parameter mapping: sorted ``(key, value)`` pairs.
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Recursively convert ``value`` to a hashable equivalent."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return tuple(_freeze_value(v) for v in items)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"spec parameter value {value!r} ({type(value).__name__}) is not "
+        "a primitive; specs must be built from hashable primitives"
+    )
+
+
+def freeze_params(params: Optional[Mapping[str, Any]]) -> Params:
+    """Freeze a parameter dict into sorted, hashable key/value pairs."""
+    if not params:
+        return ()
+    return tuple(sorted((str(k), _freeze_value(v)) for k, v in params.items()))
+
+
+@dataclass(frozen=True)
+class RigSpec:
+    """One governor rigging (or ambient model) by registry name.
+
+    Attributes
+    ----------
+    name:
+        Key into the rig/ambient registry of
+        :mod:`repro.experiments.platform`.
+    params:
+        Frozen keyword arguments for the registry factory.
+    """
+
+    name: str
+    params: Params = ()
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "RigSpec":
+        """Build a rig spec from keyword arguments."""
+        return cls(name=name, params=freeze_params(params))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An injected fault and the fixed horizon it is observed over.
+
+    Attributes
+    ----------
+    kind:
+        Fault type; currently only ``"fan_fail"`` (the rotor coasts to
+        a stop and PWM commands are ignored).
+    node:
+        Index of the victim node.
+    at:
+        Simulated seconds into the run at which the fault fires.
+    horizon:
+        Total simulated seconds the scenario runs (the job is sized to
+        outlast it); the run does not wait for job completion.
+    """
+
+    kind: str = "fan_fail"
+    node: int = 0
+    at: float = 40.0
+    horizon: float = 420.0
+
+
+def _as_rig(entry: Union[str, "RigSpec", Tuple[str, Mapping[str, Any]]]) -> RigSpec:
+    """Coerce a rigs-list entry into a :class:`RigSpec`."""
+    if isinstance(entry, RigSpec):
+        return entry
+    if isinstance(entry, str):
+        return RigSpec(name=entry)
+    name, params = entry
+    return RigSpec(name=name, params=freeze_params(params))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete, declarative name for one cluster simulation.
+
+    Attributes
+    ----------
+    workload:
+        Workload registry key (e.g. ``"bt_b_4"``).
+    workload_params:
+        Frozen workload factory arguments (e.g. iteration count).
+    rigs:
+        Governor riggings applied in order (each rigs every node).
+    n_nodes / seed:
+        Platform size and root seed.
+    ambient:
+        Optional ambient registry entry (e.g. a rack inlet gradient).
+    fault:
+        Optional fault injection; when set the run follows the fixed
+        fault horizon instead of running the job to completion.
+    timeout:
+        Hard ceiling on simulated seconds for job-completion runs.
+    tail:
+        Extra simulated seconds after job completion.
+    quick:
+        Marks shortened (smoke-test) configurations.  Carried so cache
+        entries and reports can distinguish quick sweeps from full
+        ones even when parameter values coincide.
+    """
+
+    workload: str
+    workload_params: Params = ()
+    rigs: Tuple[RigSpec, ...] = ()
+    n_nodes: int = 4
+    seed: int = DEFAULT_SEED
+    ambient: Optional[RigSpec] = None
+    fault: Optional[FaultSpec] = None
+    timeout: float = 3600.0
+    tail: float = 0.0
+    quick: bool = False
+
+    @classmethod
+    def of(
+        cls,
+        workload: str,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        rigs: Sequence[Union[str, RigSpec, Tuple[str, Mapping[str, Any]]]] = (),
+        n_nodes: int = 4,
+        seed: int = DEFAULT_SEED,
+        ambient: Optional[Union[RigSpec, Tuple[str, Mapping[str, Any]]]] = None,
+        fault: Optional[FaultSpec] = None,
+        timeout: float = 3600.0,
+        tail: float = 0.0,
+        quick: bool = False,
+    ) -> "RunSpec":
+        """Ergonomic constructor taking plain dicts for all parameters."""
+        return cls(
+            workload=workload,
+            workload_params=freeze_params(params),
+            rigs=tuple(_as_rig(r) for r in rigs),
+            n_nodes=n_nodes,
+            seed=seed,
+            ambient=None if ambient is None else _as_rig(ambient),
+            fault=fault,
+            timeout=timeout,
+            tail=tail,
+            quick=quick,
+        )
+
+    def canonical(self) -> str:
+        """Deterministic JSON form (the digest input; also debuggable)."""
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    def digest(self, version: Optional[str] = None) -> str:
+        """Content hash naming this spec (plus the package ``version``).
+
+        Two specs share a digest iff every field matches; bumping the
+        package version invalidates every cached digest, since any code
+        change may recalibrate results.
+        """
+        if version is None:
+            from .. import __version__ as version
+        h = hashlib.sha256()
+        h.update(f"repro/{version}\n".encode("utf-8"))
+        h.update(self.canonical().encode("utf-8"))
+        return h.hexdigest()[:40]
+
+    def describe(self) -> str:
+        """Short human-readable label (progress lines, bench reports)."""
+        rig_names = "+".join(r.name for r in self.rigs) or "bare"
+        return (
+            f"{self.workload}@{self.n_nodes}n/{rig_names}"
+            f"/seed={self.seed}{'/quick' if self.quick else ''}"
+        )
+
+
+def specs_table(specs: Iterable[RunSpec]) -> str:
+    """One :meth:`RunSpec.describe` line per spec (debugging helper)."""
+    return "\n".join(s.describe() for s in specs)

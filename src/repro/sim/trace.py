@@ -62,8 +62,25 @@ class Trace:
         self._v[n] = value
         self._n = n + 1
 
+    def __getstate__(self) -> Tuple[str, np.ndarray, np.ndarray]:
+        """Pickle only the live prefix of the buffers.
+
+        The amortized-growth buffers can be up to 2x over-allocated;
+        trimming (and copying, so no writable view escapes) keeps the
+        serialized form — the runtime layer's process-boundary and
+        on-disk cache payload — as small as the data itself.
+        """
+        return (self.name, self._t[: self._n].copy(), self._v[: self._n].copy())
+
+    def __setstate__(self, state: Tuple[str, np.ndarray, np.ndarray]) -> None:
+        name, t, v = state
+        self.name = name
+        self._t = np.ascontiguousarray(t, dtype=np.float64)
+        self._v = np.ascontiguousarray(v, dtype=np.float64)
+        self._n = int(self._t.shape[0])
+
     def _grow(self) -> None:
-        new_cap = self._t.shape[0] * 2
+        new_cap = max(self._t.shape[0] * 2, _INITIAL_CAPACITY)
         t = np.empty(new_cap, dtype=np.float64)
         v = np.empty(new_cap, dtype=np.float64)
         t[: self._n] = self._t[: self._n]

@@ -1,0 +1,18 @@
+"""RPR007 fixture — an experiment that builds and drives a Cluster itself."""
+
+__all__ = ["run", "render"]
+
+
+def run(seed: int = 1, quick: bool = False) -> dict:
+    from repro.cluster.cluster import Cluster, ClusterConfig
+    from repro.workloads.npb import bt_b_4
+
+    cluster = Cluster(ClusterConfig(n_nodes=4, seed=seed))
+    job = bt_b_4(rng=cluster.rngs.stream("wl"), iterations=5 if quick else 50)
+    result = cluster.run_job(job)
+    cluster.run_for(10.0)
+    return {"time": result.execution_time}
+
+
+def render(result: dict) -> str:
+    return str(result)

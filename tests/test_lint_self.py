@@ -30,6 +30,7 @@ BAD_FIXTURES = {
     "rpr004_exports.py": "RPR004",
     "rpr005_hygiene.py": "RPR005",
     "experiments/rpr006_run.py": "RPR006",
+    "experiments/rpr007_direct_run.py": "RPR007",
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")

@@ -1,0 +1,99 @@
+"""RunExecutor contracts: parallel == serial, dedup, stats.
+
+The executor's headline guarantee is that ``jobs=N`` is an exact
+optimization — every RunResult that comes back from a worker process is
+identical to the one the historical in-process path produces.  The
+simulator is a pure function of the spec, so these tests compare full
+trace sets, events and per-node summaries field by field.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import RunResult
+from repro.runtime import RunExecutor, RunSpec
+
+
+def specs_pair():
+    """Two distinct, fast specs (one-node synthetic profiles)."""
+    return [
+        RunSpec.of(
+            "mixed_thermal_profile",
+            {"duration": 20.0},
+            rigs=[("constant_fan", {"duty": duty})],
+            n_nodes=1,
+            seed=11,
+            timeout=120.0,
+        )
+        for duty in (0.40, 0.60)
+    ]
+
+
+def assert_results_equal(a: RunResult, b: RunResult) -> None:
+    assert a.job_name == b.job_name
+    assert a.execution_time == b.execution_time
+    assert a.average_power == b.average_power
+    assert a.energy_joules == b.energy_joules
+    assert a.node_shutdown == b.node_shutdown
+    assert a.retired_cycles == b.retired_cycles
+    assert a.traces.names() == b.traces.names()
+    for name in a.traces.names():
+        ta, tb = a.traces[name], b.traces[name]
+        assert (ta.times == tb.times).all(), name
+        assert (ta.values == tb.values).all(), name
+    assert len(a.events) == len(b.events)
+    for ea, eb in zip(a.events, b.events):
+        assert str(ea) == str(eb)
+
+
+def test_parallel_results_match_serial_exactly() -> None:
+    specs = specs_pair()
+    serial = RunExecutor(jobs=1).map(specs)
+    parallel = RunExecutor(jobs=2).map(specs)
+    for s, p in zip(serial, parallel):
+        assert_results_equal(s, p)
+
+
+def test_run_is_map_of_one() -> None:
+    spec = specs_pair()[0]
+    executor = RunExecutor()
+    assert_results_equal(executor.run(spec), executor.map([spec])[0])
+
+
+def test_duplicate_specs_execute_once() -> None:
+    spec = specs_pair()[0]
+    executor = RunExecutor()
+    first, second = executor.map([spec, spec])
+    assert first is second
+    assert executor.stats.executed == 1
+    assert executor.stats.deduplicated == 1
+
+
+def test_results_keep_spec_order() -> None:
+    specs = specs_pair()
+    results = RunExecutor(jobs=2).map(specs)
+    expected = [RunExecutor().run(s) for s in specs]
+    for got, want in zip(results, expected):
+        assert_results_equal(got, want)
+
+
+def test_stats_track_cache_across_maps(tmp_path) -> None:
+    specs = specs_pair()
+    executor = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    executor.map(specs)
+    assert executor.stats.as_dict() == {
+        "executed": 2,
+        "cache_hits": 0,
+        "cache_misses": 2,
+        "deduplicated": 0,
+    }
+    executor.map(specs)
+    assert executor.stats.cache_hits == 2
+    assert executor.stats.executed == 2  # unchanged: nothing re-ran
+
+
+def test_cached_result_matches_fresh(tmp_path) -> None:
+    spec = specs_pair()[0]
+    fresh = RunExecutor().run(spec)
+    warm = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    warm.run(spec)  # populate
+    assert_results_equal(warm.run(spec), fresh)

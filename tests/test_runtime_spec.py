@@ -1,0 +1,172 @@
+"""RunSpec contracts: freezing, hashing, registries and the result cache.
+
+The runtime layer's determinism story rests on specs being pure values:
+equal specs hash equal, digests are stable across constructions, and a
+digest names a cache entry until the package version moves.  These
+tests pin each of those properties plus the registry round-trip every
+experiment module relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY
+from repro.experiments.platform import (
+    AMBIENT_REGISTRY,
+    RIG_REGISTRY,
+    WORKLOAD_REGISTRY,
+)
+from repro.runtime import (
+    FaultSpec,
+    RigSpec,
+    RunExecutor,
+    RunSpec,
+    freeze_params,
+)
+
+
+def cheap_spec(**overrides) -> RunSpec:
+    """A spec that simulates in well under a second."""
+    kwargs = dict(
+        params={"duration": 20.0},
+        rigs=[("constant_fan", {"duty": 0.45})],
+        n_nodes=1,
+        seed=11,
+        timeout=120.0,
+    )
+    kwargs.update(overrides)
+    return RunSpec.of("mixed_thermal_profile", **kwargs)
+
+
+# -- freezing ------------------------------------------------------------
+
+
+def test_freeze_params_sorts_keys() -> None:
+    assert freeze_params({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+    assert freeze_params(None) == ()
+    assert freeze_params({}) == ()
+
+
+def test_freeze_params_handles_nested_containers() -> None:
+    frozen = freeze_params({"sizes": [4, 8], "flags": {"x": True}})
+    assert frozen == (("flags", (("x", True),)), ("sizes", (4, 8)))
+    # The result must be hashable (it keys dedup dicts and cache names).
+    hash(frozen)
+
+
+def test_freeze_params_rejects_live_objects() -> None:
+    with pytest.raises(ConfigurationError):
+        freeze_params({"rng": object()})
+
+
+# -- value semantics -----------------------------------------------------
+
+
+def test_equal_specs_hash_equal() -> None:
+    a = cheap_spec()
+    b = cheap_spec()
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_rig_entries_coerce_uniformly() -> None:
+    by_str = RunSpec.of("bt_b_4", rigs=["ondemand"])
+    by_obj = RunSpec.of("bt_b_4", rigs=[RigSpec(name="ondemand")])
+    by_tuple = RunSpec.of("bt_b_4", rigs=[("ondemand", {})])
+    assert by_str == by_obj == by_tuple
+
+
+def test_digest_stable_across_constructions() -> None:
+    assert cheap_spec().digest() == cheap_spec().digest()
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"params": {"duration": 21.0}},
+        {"seed": 12},
+        {"n_nodes": 2},
+        {"rigs": [("constant_fan", {"duty": 0.5})]},
+        {"quick": True},
+        {"fault": FaultSpec(kind="fan_fail", node=0, at=5.0, horizon=10.0)},
+        {"ambient": ("rack_gradient", {"base": 28.0, "gradient": 5.0})},
+    ],
+)
+def test_digest_distinguishes_every_field(overrides) -> None:
+    assert cheap_spec().digest() != cheap_spec(**overrides).digest()
+
+
+def test_digest_folds_in_package_version() -> None:
+    spec = cheap_spec()
+    assert spec.digest(version="0.1") != spec.digest(version="0.2")
+
+
+# -- registry round-trip -------------------------------------------------
+
+
+def _all_experiment_specs():
+    collected = []
+    for name, (module, _description) in REGISTRY.items():
+        specs_fn = getattr(module, "specs", None)
+        if specs_fn is not None:
+            collected.extend((name, s) for s in specs_fn(seed=1, quick=True))
+    return collected
+
+
+def test_experiment_modules_expose_specs() -> None:
+    """The refactor's point: experiments are declarative spec builders."""
+    names = {name for name, _ in _all_experiment_specs()}
+    assert len(names) >= 10, sorted(names)
+
+
+@pytest.mark.parametrize(
+    "experiment,spec", _all_experiment_specs(), ids=lambda v: str(v)[:48]
+)
+def test_every_spec_resolves_in_the_registries(experiment, spec) -> None:
+    assert spec.workload in WORKLOAD_REGISTRY
+    for rig in spec.rigs:
+        assert rig.name in RIG_REGISTRY
+    if spec.ambient is not None:
+        assert spec.ambient.name in AMBIENT_REGISTRY
+
+
+# -- cache lifecycle -----------------------------------------------------
+
+
+def test_cache_miss_then_hit_then_version_invalidation(tmp_path) -> None:
+    spec = cheap_spec()
+
+    first = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    result = first.run(spec)
+    assert first.stats.executed == 1
+    assert first.stats.cache_misses == 1
+    assert first.stats.cache_hits == 0
+    entry = tmp_path / f"{spec.digest(version='v1')}.pkl"
+    assert entry.is_file()
+
+    second = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    cached = second.run(spec)
+    assert second.stats.executed == 0
+    assert second.stats.cache_hits == 1
+    temp = cached.traces["node0.temp"]
+    fresh = result.traces["node0.temp"]
+    assert (temp.times == fresh.times).all()
+    assert (temp.values == fresh.values).all()
+
+    bumped = RunExecutor(cache_dir=tmp_path, cache_version="v2")
+    bumped.run(spec)
+    assert bumped.stats.executed == 1, "version bump must invalidate"
+    assert bumped.stats.cache_hits == 0
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path) -> None:
+    spec = cheap_spec()
+    entry = tmp_path / f"{spec.digest(version='v1')}.pkl"
+    entry.write_bytes(b"not a pickle")
+    executor = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    executor.run(spec)
+    assert executor.stats.executed == 1
+    assert executor.stats.cache_hits == 0
