@@ -1,0 +1,149 @@
+"""Measure the telemetry subsystem's overhead, on and off.
+
+Two views, written to ``BENCH_telemetry.json`` so future PRs can
+compare against this PR's numbers::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py            # full
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --quick    # smoke
+
+* **Simulation leg** — the same spec executed repeatedly with
+  telemetry disabled (the default path: every recorder call early
+  returns against the null registry) and enabled (events + metrics
+  recorded); reports median wall time of each and the enabled
+  overhead.
+* **Hot-path leg** — nanoseconds per ``ProvenanceRecorder`` round
+  call, disabled vs enabled.  The disabled per-call cost times the
+  actual number of control rounds in the simulation leg gives the
+  total time a run spends in disabled telemetry calls; the acceptance
+  gate is that this stays **under 5% of the run's wall time** (it is
+  orders of magnitude under — the bench exits non-zero if not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.runtime import DEFAULT_SEED, RunSpec, execute_spec
+from repro.sim.events import EventLog
+from repro.telemetry import MetricsRegistry, ProvenanceRecorder
+
+
+def bench_spec(seed: int, duration: float, telemetry: bool) -> RunSpec:
+    return RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": duration},
+        rigs=["dynamic_fan"],
+        n_nodes=1,
+        seed=seed,
+        timeout=600.0,
+        telemetry=telemetry,
+    )
+
+
+def _time_runs(spec: RunSpec, repeats: int):
+    walls, result = [], None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute_spec(spec)
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls), result
+
+
+def _time_round_calls(recorder: ProvenanceRecorder, calls: int) -> float:
+    """Median ns per control_round call over three timing passes."""
+    passes = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for i in range(calls):
+            recorder.control_round(
+                float(i),
+                delta_l1=0.4,
+                delta_l2=-0.2,
+                via="l1",
+                slot=8,
+                target_slot=9,
+                mode=0.12,
+                target_mode=0.15,
+                n_p=3,
+                array_size=100,
+            )
+        passes.append((time.perf_counter() - t0) / calls * 1e9)
+    return statistics.median(passes)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    duration = 60.0 if args.quick else 300.0
+    repeats = 3 if args.quick else 5
+    calls = 50_000 if args.quick else 200_000
+
+    print(f"simulation leg: duration={duration:.0f}s sim, {repeats} repeats")
+    off_wall, _ = _time_runs(bench_spec(args.seed, duration, False), repeats)
+    print(f"telemetry off : {off_wall * 1e3:8.1f} ms median wall")
+    on_wall, on_result = _time_runs(
+        bench_spec(args.seed, duration, True), repeats
+    )
+    print(f"telemetry on  : {on_wall * 1e3:8.1f} ms median wall")
+    enabled_overhead_pct = (on_wall - off_wall) / off_wall * 100.0
+    print(f"enabled overhead: {enabled_overhead_pct:+.1f}%")
+
+    rounds = int(on_result.telemetry.total("ctrl.rounds"))
+    print(f"\nhot-path leg: {calls} round calls x3 passes, {rounds} rounds/run")
+    off_ns = _time_round_calls(
+        ProvenanceRecorder(EventLog(), None, "bench", "fan"), calls
+    )
+    on_ns = _time_round_calls(
+        ProvenanceRecorder(EventLog(), MetricsRegistry(), "bench", "fan"),
+        calls,
+    )
+    print(f"disabled call : {off_ns:8.1f} ns")
+    print(f"enabled call  : {on_ns:8.1f} ns")
+
+    disabled_run_s = off_ns * 1e-9 * rounds
+    disabled_overhead_pct = disabled_run_s / off_wall * 100.0
+    print(
+        f"disabled path : {disabled_run_s * 1e6:.1f} us per run "
+        f"({disabled_overhead_pct:.4f}% of wall, gate <5%)"
+    )
+    ok = disabled_overhead_pct < 5.0
+    print("gate          :", "PASS" if ok else "FAIL")
+
+    payload = {
+        "benchmark": "telemetry overhead (mixed_thermal_profile/dynamic_fan)",
+        "quick": args.quick,
+        "seed": args.seed,
+        "sim_duration_s": duration,
+        "repeats": repeats,
+        "wall_off_ms": round(off_wall * 1e3, 2),
+        "wall_on_ms": round(on_wall * 1e3, 2),
+        "enabled_overhead_pct": round(enabled_overhead_pct, 2),
+        "round_call_disabled_ns": round(off_ns, 1),
+        "round_call_enabled_ns": round(on_ns, 1),
+        "rounds_per_run": rounds,
+        "disabled_overhead_pct": round(disabled_overhead_pct, 5),
+        "disabled_gate_pct": 5.0,
+        "disabled_gate": "pass" if ok else "fail",
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,13 @@ from .core import (
     UnifiedThermalController,
 )
 from .errors import ReproError
+from .telemetry import (
+    MetricsRegistry,
+    TelemetrySnapshot,
+    export_jsonl,
+    export_prometheus,
+    export_summary,
+)
 
 __version__ = "1.0.0"
 
@@ -68,9 +75,14 @@ __all__ = [
     "RunExecutor",
     "ClusterConfig",
     "NodeConfig",
+    "MetricsRegistry",
     "Policy",
+    "TelemetrySnapshot",
     "ThermalControlArray",
     "TwoLevelWindow",
     "UnifiedThermalController",
     "ReproError",
+    "export_jsonl",
+    "export_prometheus",
+    "export_summary",
 ]

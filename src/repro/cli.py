@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig9 --quick --seed 7
     python -m repro run all --export results/
     python -m repro run fig7 --jobs 4 --cache-dir .repro-cache
+    python -m repro run fig5 --quick --telemetry=jsonl
+    python -m repro telemetry fig5 --limit 20
 
 Each experiment prints its paper-style table; ``all`` runs the whole
 evaluation section in order (several minutes of simulated cluster
@@ -32,6 +34,13 @@ from typing import Any, List, Optional
 
 from .experiments import REGISTRY
 from .runtime import DEFAULT_SEED, RunExecutor
+from .telemetry import (
+    EXPORTER_FORMATS,
+    export_jsonl,
+    export_prometheus,
+    export_summary,
+    render_decisions,
+)
 
 __all__ = ["main", "build_parser", "to_jsonable"]
 
@@ -111,6 +120,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="content-addressed result cache directory (default: no cache)",
     )
+    run_p.add_argument(
+        "--telemetry",
+        choices=EXPORTER_FORMATS,
+        default=None,
+        metavar="FMT",
+        help=(
+            "record decision provenance and metrics; print (or, with "
+            f"--export, write) them in FMT ({'/'.join(EXPORTER_FORMATS)})"
+        ),
+    )
+
+    tel_p = sub.add_parser(
+        "telemetry",
+        help="replay an experiment with telemetry and show its decisions",
+    )
+    tel_p.add_argument(
+        "experiment",
+        nargs="?",
+        default="fig5",
+        choices=sorted(REGISTRY),
+        help="experiment to replay (default: fig5)",
+    )
+    tel_p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="platform seed"
+    )
+    tel_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length workloads (default: quick replay)",
+    )
+    tel_p.add_argument(
+        "--format",
+        choices=("decisions",) + EXPORTER_FORMATS,
+        default="decisions",
+        help="output view (default: the per-tick decision table)",
+    )
+    tel_p.add_argument(
+        "--limit",
+        type=int,
+        default=12,
+        metavar="N",
+        help="decision rows shown per run (0 = unlimited; default 12)",
+    )
+    tel_p.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="write the output to FILE instead of stdout",
+    )
 
     series_p = sub.add_parser(
         "series", help="regenerate a figure's raw curves as CSVs"
@@ -154,6 +212,23 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     return parser
+
+
+#: Export filename per telemetry format (under ``--export DIR``).
+_TELEMETRY_SUFFIX = {"jsonl": "jsonl", "prometheus": "prom", "summary": "txt"}
+
+
+def _render_telemetry(
+    fmt: str, executor: RunExecutor, limit: int = 12
+) -> str:
+    """Render the executor's collected telemetry in ``fmt``."""
+    if fmt == "jsonl":
+        return export_jsonl(executor.collected)
+    if fmt == "prometheus":
+        return export_prometheus(executor.telemetry_snapshot())
+    if fmt == "summary":
+        return export_summary(executor.telemetry_snapshot())
+    return render_decisions(executor.collected, limit=limit)
 
 
 def _run_one(
@@ -205,6 +280,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<{width}}  {REGISTRY[name][1]}")
         return 0
 
+    if args.command == "telemetry":
+        executor = RunExecutor(telemetry=True)
+        module, description = REGISTRY[args.experiment]
+        print(
+            f"== telemetry replay: {args.experiment} ({description}), "
+            f"seed={args.seed}, {'full' if args.full else 'quick'} ==",
+            file=sys.stderr,
+        )
+        module.run(seed=args.seed, quick=not args.full, executor=executor)
+        text = _render_telemetry(args.format, executor, limit=args.limit)
+        if args.export is not None:
+            path = Path(args.export)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+
     if args.command == "series":
         import csv
 
@@ -226,7 +320,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {path} ({len(times)} samples)")
         return 0
 
-    executor = RunExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+    executor = RunExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        telemetry=args.telemetry is not None,
+    )
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_one(
@@ -236,6 +334,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             export=args.export,
             executor=executor,
         )
+    if args.telemetry is not None:
+        text = _render_telemetry(args.telemetry, executor)
+        if args.export is not None:
+            out_dir = Path(args.export)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"telemetry.{_TELEMETRY_SUFFIX[args.telemetry]}"
+            path.write_text(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {path}")
+        else:
+            print(text)
     return 0
 
 

@@ -35,6 +35,8 @@ from ..sim.engine import SimulationEngine
 from ..sim.events import EventLog
 from ..sim.rng import RngStreams
 from ..sim.trace import TraceSet
+from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
+from ..telemetry.snapshot import TelemetrySnapshot
 from ..workloads.base import Job
 from .node import Node
 
@@ -64,6 +66,9 @@ class RunResult:
         empty on legacy constructions).
     retired_cycles:
         Work retired per node over the run, cycles.
+    telemetry:
+        Frozen :class:`~repro.telemetry.snapshot.TelemetrySnapshot` of
+        the run's metrics registry, or None when telemetry was off.
 
     The whole object is cheaply picklable (traces and events are
     numpy/dataclass-backed with no references back into the live
@@ -79,6 +84,7 @@ class RunResult:
     job_name: str
     node_shutdown: List[bool] = field(default_factory=list)
     retired_cycles: List[float] = field(default_factory=list)
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def cluster_average_power(self) -> float:
@@ -111,14 +117,24 @@ class Cluster:
         node its own inlet model — used by the scaling experiment to
         impose a rack thermal gradient.  Default: every node sees the
         constant ambient from the node config.
+    telemetry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`.
+        When given (and enabled), governors wired through
+        :mod:`repro.experiments.platform` record decision provenance
+        into it, the cluster counts sensor rounds, and the run's
+        :class:`RunResult` carries a frozen snapshot.  Default: the
+        shared :data:`~repro.telemetry.registry.NULL_REGISTRY` (true
+        no-op).
     """
 
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
         ambient_factory=None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.rngs = RngStreams(self.config.seed)
         self.engine = SimulationEngine(dt=self.config.dt)
         self.events: EventLog = self.engine.events
@@ -184,7 +200,15 @@ class Cluster:
             return
         self._wired = True
 
+        # Resolved once: the per-tick cost with telemetry off is two
+        # no-op method calls on the shared null instruments.
+        sensor_rounds = self.telemetry.counter("sim.sensor_rounds")
+        sensor_samples = self.telemetry.counter("sim.samples")
+        n_nodes = float(len(self.nodes))
+
         def sample_and_record(t: float) -> None:
+            sensor_rounds.inc()
+            sensor_samples.inc(n_nodes)
             for node in self.nodes:
                 temp = node.sensor.sample(t)
                 self.traces.record(f"{node.name}.temp", t, temp)
@@ -252,6 +276,14 @@ class Cluster:
         if tail > 0:
             self.engine.run(duration=tail)
 
+        if self.telemetry.enabled:
+            self.telemetry.gauge("sim.execution_seconds", job=job.name).set(
+                execution_time
+            )
+            self.telemetry.gauge("sim.final_time_seconds").set(
+                self.engine.clock.now
+            )
+
         return RunResult(
             execution_time=execution_time,
             traces=self.traces,
@@ -261,6 +293,9 @@ class Cluster:
             job_name=job.name,
             node_shutdown=[n.is_shutdown for n in self.nodes],
             retired_cycles=[float(n.core.retired_cycles) for n in self.nodes],
+            telemetry=(
+                self.telemetry.snapshot() if self.telemetry.enabled else None
+            ),
         )
 
     def run_for(self, duration: float) -> None:

@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.events import EventLog
+from ..telemetry.provenance import ProvenanceRecorder
+from ..telemetry.registry import MetricsRegistry
 from .actuator import ModeActuator
 from .control_array import ThermalControlArray
 from .mode_select import ModeSelector
@@ -83,6 +85,11 @@ class UnifiedThermalController:
         ``ctrl.mode`` and emergencies ``ctrl.emergency``.
     name:
         Event source name.
+    telemetry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`;
+        when enabled, every completed window round is published as a
+        ``telemetry.decision.*`` provenance record (deltas, triggering
+        level, slot/mode motion, the Eq.-(1) pin boundary).
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class UnifiedThermalController:
         l2_when_l1_silent: bool = True,
         events: Optional[EventLog] = None,
         name: str = "unified-ctrl",
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.actuator = actuator
         self.policy = policy
@@ -109,6 +117,9 @@ class UnifiedThermalController:
         self.name = name
         self.state = ControllerState(
             slot=self.array.slot_for_mode(actuator.current_mode())
+        )
+        self.provenance = ProvenanceRecorder(
+            events, telemetry, name, actuator.technique
         )
 
     # -- the control loop --------------------------------------------------
@@ -126,11 +137,25 @@ class UnifiedThermalController:
         if update is None:
             return None
         self.state.last_update = update
+        slot_before = self.state.slot
+        mode_before = self.array[slot_before]
         selection = self.selector.select(
             self.state.slot, update.delta_l1, update.delta_l2
         )
         if selection.slot != self.state.slot:
             self._move_to(selection.slot, t, source=selection.source)
+        self.provenance.control_round(
+            t,
+            delta_l1=update.delta_l1,
+            delta_l2=update.delta_l2,
+            via=selection.source,
+            slot=slot_before,
+            target_slot=self.state.slot,
+            mode=mode_before,
+            target_mode=self.array[self.state.slot],
+            n_p=self.array.n_p,
+            array_size=len(self.array),
+        )
         return update
 
     def _move_to(self, slot: int, t: float, source: str) -> None:
@@ -164,6 +189,7 @@ class UnifiedThermalController:
                     temperature=temperature,
                 )
             self._move_to(top, t, source="emergency")
+            self.provenance.emergency(t, temperature, target_slot=top)
 
     # -- introspection ------------------------------------------------------
 

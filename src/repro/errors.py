@@ -17,6 +17,7 @@ __all__ = [
     "DeviceError",
     "WorkloadError",
     "PolicyError",
+    "TelemetryError",
 ]
 
 
@@ -58,3 +59,11 @@ class WorkloadError(ReproError, RuntimeError):
 
 class PolicyError(ConfigurationError):
     """A thermal-control policy parameter (``P_p``, bounds, ...) is invalid."""
+
+
+class TelemetryError(ConfigurationError):
+    """A telemetry instrument was registered or used inconsistently.
+
+    Examples: re-registering ``name`` as a different metric type, or
+    two histograms sharing a name but disagreeing on bucket bounds.
+    """

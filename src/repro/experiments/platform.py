@@ -90,6 +90,7 @@ def attach_dynamic_fan(
             l2_when_l1_silent=l2_when_l1_silent,
             events=cluster.events,
             name=f"{node.name}.fan-dynamic",
+            telemetry=cluster.telemetry,
         )
         cluster.add_governor(node, gov)
         governors.append(gov)
@@ -143,6 +144,7 @@ def attach_tdvfs(
             params=params,
             events=cluster.events,
             name=f"{node.name}.tdvfs",
+            telemetry=cluster.telemetry,
         )
         cluster.add_governor(node, gov)
         governors.append(gov)
@@ -192,6 +194,7 @@ def attach_hybrid(
             max_duty=max_duty,
             tdvfs_params=tdvfs_params,
             events=cluster.events,
+            telemetry=cluster.telemetry,
         )
         cluster.add_governor(node, gov)
         governors.append(gov)

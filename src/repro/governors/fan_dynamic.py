@@ -24,6 +24,7 @@ from ..core.controller import UnifiedThermalController
 from ..core.policy import Policy
 from ..fan.driver import FanDriver
 from ..sim.events import EventLog
+from ..telemetry.registry import MetricsRegistry
 from .base import Governor
 
 __all__ = ["DynamicFanControl"]
@@ -45,6 +46,8 @@ class DynamicFanControl(Governor):
         §3.2.2 ordering rule (ablation hook).
     events:
         Shared event log.
+    telemetry:
+        Optional metrics registry for decision provenance.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class DynamicFanControl(Governor):
         l2_when_l1_silent: bool = True,
         events: Optional[EventLog] = None,
         name: str = "fan-dynamic",
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(name=name, period=1.0)
         self.driver = driver
@@ -67,6 +71,7 @@ class DynamicFanControl(Governor):
             l2_when_l1_silent=l2_when_l1_silent,
             events=events,
             name=name,
+            telemetry=telemetry,
         )
 
     def start(self, t: float) -> None:

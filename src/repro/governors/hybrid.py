@@ -24,6 +24,7 @@ from typing import Optional
 from ..core.coordinator import Coordinator
 from ..core.policy import Policy
 from ..sim.events import EventLog
+from ..telemetry.registry import MetricsRegistry
 from .base import Governor
 from .fan_dynamic import DynamicFanControl
 from .tdvfs import TDvfs, TDvfsParams
@@ -88,6 +89,7 @@ def hybrid_governors(
     max_duty: float = 0.50,
     tdvfs_params: Optional[TDvfsParams] = None,
     events: Optional[EventLog] = None,
+    telemetry: Optional[MetricsRegistry] = None,
 ) -> HybridControl:
     """Rig one node with the paper's §4.4 hybrid configuration.
 
@@ -103,12 +105,15 @@ def hybrid_governors(
         tDVFS tuning (default: 51 °C threshold, as in the paper).
     events:
         Shared event log.
+    telemetry:
+        Optional metrics registry, shared by both halves.
     """
     fan = DynamicFanControl(
         driver=node.make_fan_driver(max_duty=max_duty),
         policy=policy,
         events=events,
         name=f"{node.name}.fan-dynamic",
+        telemetry=telemetry,
     )
     tdvfs = TDvfs(
         dvfs=node.dvfs,
@@ -116,5 +121,6 @@ def hybrid_governors(
         params=tdvfs_params,
         events=events,
         name=f"{node.name}.tdvfs",
+        telemetry=telemetry,
     )
     return HybridControl(fan, tdvfs, name=f"{node.name}.hybrid")

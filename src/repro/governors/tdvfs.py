@@ -43,6 +43,8 @@ from ..core.policy import Policy
 from ..core.window import TwoLevelWindow
 from ..cpu.dvfs import Dvfs
 from ..sim.events import EventLog
+from ..telemetry.provenance import ProvenanceRecorder
+from ..telemetry.registry import MetricsRegistry
 from ..units import clamp, require_non_negative, require_positive
 from .base import Governor
 
@@ -114,6 +116,10 @@ class TDvfs(Governor):
         Shared event log (``tdvfs.trigger`` / ``tdvfs.restore``).
     name:
         Event source name.
+    telemetry:
+        Optional metrics registry; when enabled, every evaluated
+        window round publishes its threshold state as a
+        ``telemetry.decision.tdvfs`` provenance record.
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class TDvfs(Governor):
         params: Optional[TDvfsParams] = None,
         events: Optional[EventLog] = None,
         name: str = "tdvfs",
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(name=name, period=1.0)
         self.dvfs = dvfs
@@ -142,6 +149,7 @@ class TDvfs(Governor):
         self._last_action_time = -math.inf
         self.trigger_count = 0
         self.restore_count = 0
+        self.provenance = ProvenanceRecorder(events, telemetry, name, "tdvfs")
 
     # -- governor protocol ---------------------------------------------------
 
@@ -166,8 +174,6 @@ class TDvfs(Governor):
         if update is None or not update.l2_full:
             return
         p = self.params
-        if t - self._last_action_time < p.cooldown:
-            return
 
         # "Consistently above": every FIFO entry above threshold within
         # sensor noise (half a quantization step of slack) AND the FIFO
@@ -178,6 +184,11 @@ class TDvfs(Governor):
             min(update.l2_values) > threshold - 0.25
             and update.l2_average > threshold
         )
+        if t - self._last_action_time < p.cooldown:
+            self._record_round(t, update, "cooldown", threshold, consistently_above)
+            return
+
+        triggers, restores = self.trigger_count, self.restore_count
         if consistently_above:
             self._scale_down(t, update.l2_average)
         elif (
@@ -185,6 +196,29 @@ class TDvfs(Governor):
             and self.dvfs.index != self._original_index
         ):
             self._restore(t, update.l2_average)
+        if self.trigger_count > triggers:
+            action = "trigger"
+        elif self.restore_count > restores:
+            action = "restore"
+        else:
+            action = "hold"
+        self._record_round(t, update, action, threshold, consistently_above)
+
+    def _record_round(
+        self, t, update, action: str, threshold: float, consistently_above: bool
+    ) -> None:
+        self.provenance.tdvfs_round(
+            t,
+            delta_l1=update.delta_l1,
+            delta_l2=update.delta_l2,
+            action=action,
+            l2_average=update.l2_average,
+            effective_threshold=threshold,
+            consistently_above=consistently_above,
+            slot=self._slot,
+            index=self.dvfs.index,
+            frequency_ghz=self.dvfs.pstate.frequency_ghz,
+        )
 
     # -- actions ----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from .governor_purity import GovernorPurityRule
 from .hygiene import HygieneRule
 from .reproducibility import ReproducibilityRule
 from .runtime_boundary import RuntimeBoundaryRule
+from .telemetry_clock import TelemetryClockRule
 from .unit_safety import UnitSafetyRule
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "HygieneRule",
     "ReproducibilityRule",
     "RuntimeBoundaryRule",
+    "TelemetryClockRule",
 ]
 
 #: Ordered rule plugin table (report order follows registration order).
@@ -41,6 +43,7 @@ ALL_RULES: List[Type[Rule]] = [
     HygieneRule,
     ReproducibilityRule,
     RuntimeBoundaryRule,
+    TelemetryClockRule,
 ]
 
 #: Code → rule class lookup.

@@ -1,0 +1,70 @@
+"""RPR008 — telemetry is sim-clock only: no wall-clock access at all.
+
+The telemetry subsystem's determinism contract (``docs/observability.md``)
+is that every sim-side record is a pure function of ``(spec, seed)`` —
+two identical runs must export **byte-identical** JSONL.  RPR001 already
+bans ``time.time`` everywhere, but it deliberately tolerates
+``perf_counter``/``monotonic`` for harmless wall-time *reporting*.
+Inside ``telemetry/`` that tolerance is wrong: any clock read that leaks
+into an emitted record silently breaks byte-identity, and there is no
+legitimate reporting use either — wall-time metrics belong to the
+executor layer (:mod:`repro.runtime.executor`), which publishes them
+under the reserved ``host.*`` namespace.
+
+So this rule is blunt by design: within any ``telemetry/`` directory,
+*importing* ``time`` or ``datetime`` (or any submodule/name from them)
+is a finding.  Every timestamp a telemetry module handles must arrive
+as a caller-supplied simulation-clock value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Finding, Rule, RuleContext
+
+__all__ = ["TelemetryClockRule"]
+
+#: Modules whose import (or from-import) is banned in telemetry code.
+_BANNED_MODULES = frozenset({"time", "datetime"})
+
+
+class TelemetryClockRule(Rule):
+    """Telemetry modules must not import time/datetime at all."""
+
+    code = "RPR008"
+    name = "telemetry-clock"
+    description = (
+        "telemetry/ modules are sim-clock only: no 'time' or 'datetime' "
+        "imports (wall time lives in runtime/executor host.* metrics)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("telemetry"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} in telemetry code: "
+                            "sim-side records must use caller-supplied sim "
+                            "time (wall time is host.*-only, in "
+                            "runtime/executor)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level != 0 or node.module is None:
+                    continue
+                root = node.module.split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"from-import of {node.module!r} in telemetry code: "
+                        "sim-side records must use caller-supplied sim time "
+                        "(wall time is host.*-only, in runtime/executor)",
+                    )

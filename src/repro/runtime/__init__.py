@@ -31,7 +31,7 @@ lint`` rule RPR007 keeps experiments on this path by banning direct
 ``Cluster``/``run_job`` use outside the platform/runtime layers.
 """
 
-from .executor import ExecutorStats, RunExecutor
+from .executor import ExecutorStats, RunExecutor, timed_execute_spec
 from .execute import execute_spec
 from .measure import Measure, first_rise_delay, late_quarter_slope
 from .spec import (
@@ -58,4 +58,5 @@ __all__ = [
     "freeze_params",
     "late_quarter_slope",
     "specs_table",
+    "timed_execute_spec",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..cluster.cluster import Cluster, RunResult
 from ..config import ClusterConfig
 from ..errors import ConfigurationError
+from ..telemetry.registry import MetricsRegistry
 from .spec import RunSpec
 
 __all__ = ["execute_spec"]
@@ -54,6 +55,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
     cluster = Cluster(
         ClusterConfig(n_nodes=spec.n_nodes, seed=spec.seed),
         ambient_factory=ambient_factory,
+        telemetry=MetricsRegistry() if spec.telemetry else None,
     )
     for rig in spec.rigs:
         attach = _resolve(registries.RIG_REGISTRY, "rig", rig.name)
@@ -86,4 +88,7 @@ def _execute_fault(cluster: Cluster, job, spec: RunSpec) -> RunResult:
         job_name=job.name,
         node_shutdown=[n.is_shutdown for n in cluster.nodes],
         retired_cycles=[float(n.core.retired_cycles) for n in cluster.nodes],
+        telemetry=(
+            cluster.telemetry.snapshot() if cluster.telemetry.enabled else None
+        ),
     )

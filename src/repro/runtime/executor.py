@@ -25,32 +25,86 @@ Three properties the rest of the repo builds on:
 
 Identical specs inside one ``map`` call are also deduplicated: the run
 happens once and the same result object is returned at each position.
+
+Every executor owns a host-side
+:class:`~repro.telemetry.registry.MetricsRegistry`.  Its lifetime
+counters (``host.exec.*`` / ``host.cache.*``) back
+:class:`ExecutorStats`, so the numbers are identical whether specs ran
+serially or across the pool — workers measure their own wall time and
+the parent folds it in (wall-clock reads are **only** legal here, in
+``host.*`` metrics; sim-side telemetry is sim-clock-only, see lint rule
+RPR008).  With ``telemetry=True`` the executor also switches every
+mapped spec's telemetry on and keeps the ``(spec, result)`` pairs in
+:attr:`RunExecutor.collected` for the exporters.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.cluster import RunResult
+from ..telemetry.registry import MetricsRegistry, SECONDS_BUCKETS
+from ..telemetry.snapshot import TelemetrySnapshot
 from .execute import execute_spec
 from .spec import RunSpec
 
-__all__ = ["ExecutorStats", "RunExecutor"]
+__all__ = ["ExecutorStats", "RunExecutor", "timed_execute_spec"]
 
 
-@dataclass
+def timed_execute_spec(spec: RunSpec) -> Tuple[RunResult, float]:
+    """:func:`execute_spec` plus the worker-side wall time, seconds.
+
+    Module-level (picklable) so the measurement happens *inside* the
+    worker process — the parent would otherwise attribute pool queueing
+    delays to the simulation.
+    """
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - started
+
+
 class ExecutorStats:
-    """Counters for one executor's lifetime (cache efficacy, fan-out)."""
+    """One executor's lifetime counters (cache efficacy, fan-out).
 
-    executed: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    deduplicated: int = 0
+    A read-only view over the executor's ``host.*`` registry counters;
+    because workers report back through the registry, the numbers are
+    the same under ``jobs=1`` and ``jobs=N``.
+    """
+
+    __slots__ = ("_executed", "_cache_hits", "_cache_misses", "_deduplicated")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._executed = registry.counter("host.exec.executed")
+        self._cache_hits = registry.counter("host.cache.hits")
+        self._cache_misses = registry.counter("host.cache.misses")
+        self._deduplicated = registry.counter("host.exec.deduplicated")
+
+    @property
+    def executed(self) -> int:
+        """Specs actually simulated (not cached, not deduplicated)."""
+        return int(self._executed.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Specs satisfied from the on-disk cache."""
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Specs simulated and then stored in the cache."""
+        return int(self._cache_misses.value)
+
+    @property
+    def deduplicated(self) -> int:
+        """Duplicate specs that reused an earlier position's result."""
+        return int(self._deduplicated.value)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (for JSON reports)."""
@@ -78,12 +132,22 @@ class RunExecutor:
         Version string folded into cache digests; defaults to the
         installed package version.  Exposed so tests can model a
         version bump without reinstalling.
+    telemetry:
+        When True, every mapped spec is run with telemetry enabled
+        (``dataclasses.replace(spec, telemetry=True)``), results'
+        snapshots are folded into the executor registry under a
+        ``run=<digest>`` label, and the ``(spec, result)`` pairs are
+        kept in :attr:`collected` for the exporters.
+    registry:
+        The host-side metrics registry.  Supplied automatically; pass
+        one explicitly to share a registry across executors.
     """
 
     jobs: int = 1
     cache_dir: Optional[Union[str, Path]] = None
     cache_version: Optional[str] = None
-    stats: ExecutorStats = field(default_factory=ExecutorStats)
+    telemetry: bool = False
+    registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs))
@@ -93,6 +157,15 @@ class RunExecutor:
             from .. import __version__
 
             self.cache_version = __version__
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self.stats = ExecutorStats(self.registry)
+        #: ``(spec, result)`` pairs accumulated across map() calls when
+        #: ``telemetry=True`` (primary specs only; duplicates collapse).
+        self.collected: List[Tuple[RunSpec, RunResult]] = []
+        self._wall_hist = self.registry.histogram(
+            "host.spec.wall_seconds", buckets=SECONDS_BUCKETS
+        )
 
     # -- public API ------------------------------------------------------
 
@@ -108,6 +181,11 @@ class RunExecutor:
         the cache.  Duplicate specs execute once.
         """
         specs = list(specs)
+        if self.telemetry:
+            specs = [
+                s if s.telemetry else dataclasses.replace(s, telemetry=True)
+                for s in specs
+            ]
         results: List[Optional[RunResult]] = [None] * len(specs)
 
         # Deduplicate: first index holding each distinct spec runs it.
@@ -115,39 +193,59 @@ class RunExecutor:
         pending: List[int] = []
         for i, spec in enumerate(specs):
             if spec in primary:
-                self.stats.deduplicated += 1
+                self.stats._deduplicated.inc()
                 continue
             primary[spec] = i
             cached = self._cache_load(spec)
             if cached is not None:
-                self.stats.cache_hits += 1
+                self.stats._cache_hits.inc()
                 results[i] = cached
             else:
                 pending.append(i)
 
         if pending:
             fresh = self._execute_all([specs[i] for i in pending])
-            for i, result in zip(pending, fresh):
+            for i, (result, wall_seconds) in zip(pending, fresh):
                 results[i] = result
+                self._wall_hist.observe(wall_seconds)
                 if self.cache_dir is not None:
-                    self.stats.cache_misses += 1
+                    self.stats._cache_misses.inc()
                     self._cache_store(specs[i], result)
-            self.stats.executed += len(pending)
+            self.stats._executed.inc(len(pending))
 
         for i, spec in enumerate(specs):
             if results[i] is None:
                 results[i] = results[primary[spec]]
+
+        if self.telemetry:
+            for spec, position in primary.items():
+                result = results[position]
+                self.collected.append((spec, result))
+                if result.telemetry is not None:
+                    self.registry.merge_snapshot(
+                        result.telemetry.with_labels(run=spec.digest()[:12])
+                    )
         return results
+
+    def telemetry_snapshot(self) -> TelemetrySnapshot:
+        """Everything this executor knows: host metrics + merged runs."""
+        return self.registry.snapshot()
 
     # -- execution -------------------------------------------------------
 
-    def _execute_all(self, specs: List[RunSpec]) -> List[RunResult]:
+    def _execute_all(
+        self, specs: List[RunSpec]
+    ) -> List[Tuple[RunResult, float]]:
         """Run specs serially or across the process pool."""
+        self.registry.gauge("host.exec.workers").set(
+            float(min(self.jobs, len(specs)))
+        )
         if self.jobs == 1 or len(specs) == 1:
-            return [execute_spec(spec) for spec in specs]
+            return [timed_execute_spec(spec) for spec in specs]
         workers = min(self.jobs, len(specs))
+        self.registry.counter("host.exec.pool_batches").inc()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_spec, specs))
+            return list(pool.map(timed_execute_spec, specs))
 
     # -- cache -----------------------------------------------------------
 

@@ -148,6 +148,14 @@ class RunSpec:
         Marks shortened (smoke-test) configurations.  Carried so cache
         entries and reports can distinguish quick sweeps from full
         ones even when parameter values coincide.
+    telemetry:
+        Run with a live :class:`~repro.telemetry.MetricsRegistry` so
+        the result carries decision provenance and a metrics snapshot.
+        Part of the spec (and hence the digest): a telemetry run's
+        result object differs from a bare run's, so they must not
+        share cache entries — even though the *simulated physics* are
+        identical (telemetry is observation-only, which the tests
+        assert).
     """
 
     workload: str
@@ -160,6 +168,7 @@ class RunSpec:
     timeout: float = 3600.0
     tail: float = 0.0
     quick: bool = False
+    telemetry: bool = False
 
     @classmethod
     def of(
@@ -175,6 +184,7 @@ class RunSpec:
         timeout: float = 3600.0,
         tail: float = 0.0,
         quick: bool = False,
+        telemetry: bool = False,
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts for all parameters."""
         return cls(
@@ -188,6 +198,7 @@ class RunSpec:
             timeout=timeout,
             tail=tail,
             quick=quick,
+            telemetry=telemetry,
         )
 
     def canonical(self) -> str:

@@ -1,0 +1,69 @@
+"""repro.telemetry — deterministic observability for the simulator.
+
+The subsystem has three layers:
+
+* :mod:`repro.telemetry.registry` — :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  keyed by ``(name, labels)``; :data:`NULL_REGISTRY` is the shared
+  disabled registry (a true no-op in the per-tick hot path).
+* :mod:`repro.telemetry.provenance` — :class:`ProvenanceRecorder`
+  captures each control tick's decision inputs (Δt_l1/Δt_l2, the
+  triggering history level, slot/mode motion, the Eq.-(1) pin boundary
+  ``n_p``, tDVFS threshold state) into the run's event log and the
+  registry.
+* :mod:`repro.telemetry.exporters` — JSONL (deterministic,
+  byte-identical per ``(spec, seed)``), Prometheus text format, and a
+  human summary table, plus the ``repro telemetry`` decision view.
+
+The determinism contract: simulation-side telemetry is timestamped by
+the simulation clock only — lint rule RPR008 bans wall-clock reads in
+this package.  Wall time is legal solely in executor-level metrics,
+which live in :mod:`repro.runtime.executor` and are namespaced
+``host.*`` (and excluded from JSONL exports).  See
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .exporters import (
+    EXPORTER_FORMATS,
+    export_jsonl,
+    export_prometheus,
+    export_summary,
+    jsonl_records,
+    render_decisions,
+)
+from .provenance import DECISION_CATEGORY, ProvenanceRecorder
+from .registry import (
+    DELTA_BUCKETS,
+    NULL_REGISTRY,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .snapshot import LabelPairs, MetricSample, TelemetrySnapshot
+
+__all__ = [
+    "Counter",
+    "DECISION_CATEGORY",
+    "DELTA_BUCKETS",
+    "EXPORTER_FORMATS",
+    "Gauge",
+    "Histogram",
+    "LabelPairs",
+    "MetricSample",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "ProvenanceRecorder",
+    "SECONDS_BUCKETS",
+    "TelemetrySnapshot",
+    "export_jsonl",
+    "export_prometheus",
+    "export_summary",
+    "jsonl_records",
+    "render_decisions",
+]

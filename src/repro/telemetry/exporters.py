@@ -1,0 +1,301 @@
+"""Pluggable telemetry exporters: JSONL, Prometheus text, summary table.
+
+Three views over the same data, selected by ``repro run
+--telemetry=<fmt>`` and the ``repro telemetry`` subcommand:
+
+* :func:`export_jsonl` — the machine-readable event/metric stream.
+  One JSON object per line, compact separators, sorted keys, sorted
+  metrics, sim-clock timestamps only and ``host.*`` metrics excluded
+  by construction — so two runs of the same spec and seed produce
+  **byte-identical** output (the determinism contract the tests and
+  CI enforce against ``docs/telemetry.schema.json``).
+* :func:`export_prometheus` — a Prometheus text-format (version
+  0.0.4) snapshot of any :class:`TelemetrySnapshot`, including
+  ``host.*`` executor metrics.  This is a *scrape snapshot*: wall-time
+  derived values are fine here and the output is not required to be
+  run-stable.
+* :func:`export_summary` — a human-readable table of the same
+  snapshot for terminal use.
+
+:func:`render_decisions` is the human view of decision provenance —
+the "why did the fan jump to mode 7 at t=412 s?" answer — built from
+``telemetry.decision.*`` events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Sequence, Tuple
+
+from .provenance import DECISION_CATEGORY
+from .snapshot import MetricSample, TelemetrySnapshot
+
+if TYPE_CHECKING:  # imported for annotations only: no runtime cycle
+    from ..cluster.cluster import RunResult
+    from ..runtime.spec import RunSpec
+
+__all__ = [
+    "EXPORTER_FORMATS",
+    "JSONL_SCHEMA_VERSION",
+    "export_jsonl",
+    "export_prometheus",
+    "export_summary",
+    "jsonl_records",
+    "render_decisions",
+]
+
+#: Formats understood by ``repro run --telemetry`` / ``repro telemetry``.
+EXPORTER_FORMATS = ("jsonl", "prometheus", "summary")
+
+#: Version stamped on every JSONL run header (bump on shape changes).
+JSONL_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce event payload values to strict-JSON-safe equivalents."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _bound_json(bound: float) -> Any:
+    """Histogram upper bound as JSON (``+Inf`` for the overflow bucket)."""
+    return "+Inf" if math.isinf(bound) else bound
+
+
+def _metric_record(sample: MetricSample) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "kind": "metric",
+        "name": sample.name,
+        "type": sample.type,
+        "labels": sample.label_dict(),
+    }
+    if sample.type == "histogram":
+        record["sum"] = _jsonable(sample.sum)
+        record["count"] = sample.count
+        record["buckets"] = [
+            [_bound_json(bound), count] for bound, count in sample.buckets
+        ]
+    else:
+        record["value"] = _jsonable(sample.value)
+    return record
+
+
+def jsonl_records(
+    runs: Sequence[Tuple["RunSpec", "RunResult"]],
+) -> Iterator[Dict[str, Any]]:
+    """The JSONL export as dict records (one run header, then its data).
+
+    Only simulation-side data flows here: every ``t`` is the sim clock
+    and ``host.*`` metrics are dropped, which is what makes the export
+    a pure function of ``(spec, seed)``.
+    """
+    for spec, result in runs:
+        yield {
+            "kind": "run",
+            "schema": JSONL_SCHEMA_VERSION,
+            "digest": spec.digest(),
+            "describe": spec.describe(),
+            "workload": spec.workload,
+            "seed": spec.seed,
+            "n_nodes": spec.n_nodes,
+            "quick": spec.quick,
+        }
+        for event in result.events:
+            yield {
+                "kind": "event",
+                "t": _jsonable(event.time),
+                "category": event.category,
+                "source": event.source,
+                "data": _jsonable(event.data),
+            }
+        snapshot = getattr(result, "telemetry", None)
+        if snapshot is not None:
+            for sample in snapshot.without("host."):
+                yield _metric_record(sample)
+
+
+def export_jsonl(runs: Sequence[Tuple["RunSpec", "RunResult"]]) -> str:
+    """Render runs as the deterministic JSONL stream (trailing newline)."""
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in jsonl_records(runs)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _prom_label_value(value: str) -> str:
+    escaped = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    return f'"{escaped}"'
+
+
+def _prom_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f"{k}={_prom_label_value(v)}" for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def export_prometheus(
+    snapshot: TelemetrySnapshot, namespace: str = "repro"
+) -> str:
+    """Render a snapshot in Prometheus text format 0.0.4.
+
+    Counters get the conventional ``_total`` suffix; histograms expand
+    to cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+    Output is sorted by metric name then labels, so equal snapshots
+    render identically.
+    """
+    by_name: Dict[str, List[MetricSample]] = {}
+    for sample in snapshot:
+        by_name.setdefault(sample.name, []).append(sample)
+
+    lines: List[str] = []
+    for name in sorted(by_name):
+        samples = sorted(by_name[name], key=lambda s: s.labels)
+        metric_type = samples[0].type
+        base = _prom_name(name, namespace)
+        if metric_type == "counter" and not base.endswith("_total"):
+            base += "_total"
+        lines.append(f"# HELP {base} repro telemetry metric '{name}'")
+        lines.append(f"# TYPE {base} {metric_type}")
+        for sample in samples:
+            if metric_type == "histogram":
+                cumulative = 0
+                for bound, count in sample.buckets:
+                    cumulative += count
+                    bucket_labels = tuple(sample.labels) + (
+                        ("le", _prom_number(bound)),
+                    )
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{base}_sum{_prom_labels(sample.labels)} "
+                    f"{_prom_number(sample.sum)}"
+                )
+                lines.append(
+                    f"{base}_count{_prom_labels(sample.labels)} {sample.count}"
+                )
+            else:
+                lines.append(
+                    f"{base}{_prom_labels(sample.labels)} "
+                    f"{_prom_number(sample.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human summary -----------------------------------------------------------
+
+
+def export_summary(snapshot: TelemetrySnapshot) -> str:
+    """A terminal-friendly table of every sample in the snapshot."""
+    if not len(snapshot):
+        return "(no telemetry recorded)"
+    rows: List[Tuple[str, str, str]] = []
+    for sample in snapshot:
+        labels = ",".join(f"{k}={v}" for k, v in sample.labels) or "-"
+        if sample.type == "histogram":
+            mean = sample.sum / sample.count if sample.count else 0.0
+            shown = f"n={sample.count} sum={sample.sum:.6g} mean={mean:.6g}"
+        else:
+            shown = f"{sample.value:.6g}"
+        rows.append((f"{sample.name} ({sample.type})", labels, shown))
+    name_w = max(len(r[0]) for r in rows)
+    label_w = max(len(r[1]) for r in rows)
+    header = f"{'metric':<{name_w}}  {'labels':<{label_w}}  value"
+    ruler = "-" * len(header)
+    body = [f"{n:<{name_w}}  {l:<{label_w}}  {v}" for n, l, v in rows]
+    return "\n".join([header, ruler, *body])
+
+
+# -- decision provenance view ------------------------------------------------
+
+
+def _fmt_value(value: Any) -> str:
+    """Short human rendering (floats trimmed of representation noise)."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_decisions(
+    runs: Sequence[Tuple["RunSpec", "RunResult"]], limit: int = 12
+) -> str:
+    """Human table of ``telemetry.decision.*`` records, per run.
+
+    Shows, for each recorded control tick, the two window deltas and
+    which history level (or threshold action) selected the target mode
+    — the paper's §3.2 decision path made visible.  ``limit`` bounds
+    the rows printed per run (0 = unlimited); the total count is always
+    reported so truncation is never silent.
+    """
+    out: List[str] = []
+    for spec, result in runs:
+        decisions = result.events.filter(category=DECISION_CATEGORY)
+        out.append(f"== {spec.describe()} — {len(decisions)} decision records ==")
+        if not decisions:
+            out.append("  (telemetry was not enabled for this run)")
+            continue
+        out.append(
+            f"  {'t(s)':>8}  {'source':<24} {'via/action':<10} "
+            f"{'dt_l1':>8}  {'dt_l2':>8}  detail"
+        )
+        shown = decisions if limit <= 0 else decisions[:limit]
+        for event in shown:
+            data = event.data
+            via = str(data.get("via", data.get("action", "?")))
+            delta_l1 = data.get("delta_l1")
+            delta_l2 = data.get("delta_l2")
+            d1 = "-" if delta_l1 is None else f"{delta_l1:+.3f}"
+            d2 = "-" if delta_l2 is None else f"{delta_l2:+.3f}"
+            if "target_slot" in data and "slot" in data:
+                detail = (
+                    f"slot {data['slot']}->{data['target_slot']} "
+                    f"mode {_fmt_value(data.get('mode'))}->"
+                    f"{_fmt_value(data.get('target_mode'))} "
+                    f"n_p={data.get('n_p')}"
+                )
+            elif "effective_threshold" in data:
+                detail = (
+                    f"l2_avg={_fmt_value(data.get('l2_average'))} "
+                    f"thr={_fmt_value(data.get('effective_threshold'))} "
+                    f"idx={data.get('index')} "
+                    f"{_fmt_value(data.get('frequency_ghz'))}GHz"
+                )
+            else:
+                detail = ", ".join(
+                    f"{k}={_fmt_value(v)}" for k, v in sorted(data.items())
+                    if k not in ("delta_l1", "delta_l2", "via", "action")
+                )
+            out.append(
+                f"  {event.time:>8.2f}  {event.source:<24} {via:<10} "
+                f"{d1:>8}  {d2:>8}  {detail}"
+            )
+        if limit > 0 and len(decisions) > limit:
+            out.append(f"  ... {len(decisions) - limit} more (use --limit 0)")
+    return "\n".join(out)

@@ -1,0 +1,212 @@
+"""Decision provenance: why a controller did what it did, per tick.
+
+The paper's controller is only explainable through its internals — the
+two-level history deltas (Δt_l1 vs Δt_l2, §3.2.1), the pinned region of
+the thermal control array (§3.2.2, Eq. 1) and the tDVFS threshold
+machinery.  :class:`ProvenanceRecorder` captures exactly those values
+at every completed control round and publishes them twice:
+
+* as ``telemetry.decision.<technique>`` events in the run's shared
+  :class:`~repro.sim.events.EventLog` (timestamped with the *simulation*
+  clock, so the record is deterministic and exportable byte-for-byte);
+* as registry metrics (round counters by triggering level, slot/mode
+  gauges, Δt histograms) for aggregate views.
+
+Recording is gated on the registry being enabled: with telemetry off
+(the default), a run's event log is byte-identical to the pre-telemetry
+code, and the per-round cost is one early-returning method call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.events import EventLog
+from .registry import DELTA_BUCKETS, NULL_REGISTRY, MetricsRegistry
+
+__all__ = ["ProvenanceRecorder", "DECISION_CATEGORY"]
+
+#: Event-category prefix of every provenance record.
+DECISION_CATEGORY = "telemetry.decision"
+
+
+class ProvenanceRecorder:
+    """Per-controller sink for control-tick decision records.
+
+    Parameters
+    ----------
+    events:
+        The run's shared event log (may be None: metrics only).
+    registry:
+        The run's metrics registry; pass None (or a
+        :class:`~repro.telemetry.registry.NullRegistry`) to disable
+        recording entirely.
+    name:
+        Event source / ``ctrl`` label (e.g. ``"node0.fan-dynamic"``).
+    technique:
+        Technique tag folded into the event category
+        (``"fan"``, ``"dvfs"``, ``"tdvfs"``).
+    """
+
+    __slots__ = (
+        "events",
+        "registry",
+        "name",
+        "technique",
+        "enabled",
+        "_category",
+        "_slot_gauge",
+        "_delta_l1",
+        "_delta_l2",
+        "_mode_changes",
+        "_emergencies",
+    )
+
+    def __init__(
+        self,
+        events: Optional[EventLog],
+        registry: Optional[MetricsRegistry],
+        name: str,
+        technique: str,
+    ) -> None:
+        self.events = events
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.name = name
+        self.technique = technique
+        self.enabled = self.registry.enabled
+        self._category = f"{DECISION_CATEGORY}.{technique}"
+        # Instruments are resolved once here, never in the tick path.
+        self._slot_gauge = self.registry.gauge(
+            "ctrl.slot", ctrl=name, technique=technique
+        )
+        self._delta_l1 = self.registry.histogram(
+            "ctrl.delta_l1", buckets=DELTA_BUCKETS, ctrl=name
+        )
+        self._delta_l2 = self.registry.histogram(
+            "ctrl.delta_l2", buckets=DELTA_BUCKETS, ctrl=name
+        )
+        self._mode_changes = self.registry.counter(
+            "ctrl.mode_changes", ctrl=name, technique=technique
+        )
+        self._emergencies = self.registry.counter(
+            "ctrl.emergencies", ctrl=name, technique=technique
+        )
+
+    # -- unified-controller rounds ---------------------------------------
+
+    def control_round(
+        self,
+        t: float,
+        *,
+        delta_l1: float,
+        delta_l2: Optional[float],
+        via: str,
+        slot: int,
+        target_slot: int,
+        mode: object,
+        target_mode: object,
+        n_p: int,
+        array_size: int,
+    ) -> None:
+        """Record one completed window round of a unified controller.
+
+        ``via`` names the level that selected the target slot (``"l1"``,
+        ``"l2"`` or ``"hold"``); ``slot``/``mode`` are pre-decision,
+        ``target_slot``/``target_mode`` post-decision.  ``n_p`` is the
+        Eq.-(1) pin boundary, carried on every record so exports are
+        self-describing.
+        """
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "ctrl.rounds", ctrl=self.name, technique=self.technique, via=via
+        ).inc()
+        self._slot_gauge.set(float(target_slot))
+        self._delta_l1.observe(delta_l1)
+        if delta_l2 is not None:
+            self._delta_l2.observe(delta_l2)
+        if target_mode != mode:
+            self._mode_changes.inc()
+        if self.events is not None:
+            self.events.emit(
+                t,
+                self._category,
+                self.name,
+                delta_l1=round(delta_l1, 6),
+                delta_l2=None if delta_l2 is None else round(delta_l2, 6),
+                via=via,
+                slot=slot,
+                target_slot=target_slot,
+                mode=mode,
+                target_mode=target_mode,
+                n_p=n_p,
+                array_size=array_size,
+            )
+
+    def emergency(self, t: float, temperature: float, target_slot: int) -> None:
+        """Record a t_max emergency override (out-of-round actuation)."""
+        if not self.enabled:
+            return
+        self._emergencies.inc()
+        self._slot_gauge.set(float(target_slot))
+        if self.events is not None:
+            self.events.emit(
+                t,
+                self._category,
+                self.name,
+                via="emergency",
+                temperature=round(temperature, 6),
+                target_slot=target_slot,
+            )
+
+    # -- tDVFS threshold rounds ------------------------------------------
+
+    def tdvfs_round(
+        self,
+        t: float,
+        *,
+        delta_l1: float,
+        delta_l2: Optional[float],
+        action: str,
+        l2_average: float,
+        effective_threshold: float,
+        consistently_above: bool,
+        slot: int,
+        index: int,
+        frequency_ghz: float,
+    ) -> None:
+        """Record one tDVFS evaluation round and its threshold state.
+
+        ``action`` is what the daemon actually did this round:
+        ``"trigger"``, ``"restore"``, ``"hold"`` or ``"cooldown"``
+        (evaluation suppressed by the action-rate limit).
+        """
+        if not self.enabled:
+            return
+        self.registry.counter(
+            "tdvfs.rounds", ctrl=self.name, action=action
+        ).inc()
+        self.registry.gauge("tdvfs.effective_threshold", ctrl=self.name).set(
+            effective_threshold
+        )
+        self.registry.gauge("tdvfs.pstate_index", ctrl=self.name).set(
+            float(index)
+        )
+        self._delta_l1.observe(delta_l1)
+        if delta_l2 is not None:
+            self._delta_l2.observe(delta_l2)
+        if self.events is not None:
+            self.events.emit(
+                t,
+                self._category,
+                self.name,
+                delta_l1=round(delta_l1, 6),
+                delta_l2=None if delta_l2 is None else round(delta_l2, 6),
+                action=action,
+                l2_average=round(l2_average, 6),
+                effective_threshold=round(effective_threshold, 6),
+                consistently_above=consistently_above,
+                slot=slot,
+                index=index,
+                frequency_ghz=frequency_ghz,
+            )

@@ -1,0 +1,352 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (why this module looks the way it does):
+
+* **Hot-path cheap.**  Instruments are plain ``__slots__`` objects;
+  the fast path of ``Counter.inc`` is one float add.  Callers that sit
+  inside the per-tick loop obtain their instrument *once* at wiring
+  time and keep the reference — ``registry.counter(...)`` itself does
+  a dict lookup and is meant for setup code, not the tick loop.
+* **True no-op when disabled.**  :data:`NULL_REGISTRY` (a shared
+  :class:`NullRegistry`) hands out shared do-nothing instruments, so
+  instrumented code is written unconditionally and costs one empty
+  method call when telemetry is off.
+* **Deterministic.**  Nothing in this module reads a clock of any
+  kind (enforced by lint rule RPR008); every recorded value is
+  supplied by the caller.  Wall-time-derived metrics exist only at
+  the executor level and are namespaced ``host.*``
+  (:mod:`repro.runtime.executor`).
+
+Identity is ``(name, sorted label pairs)``; re-registering the same
+identity returns the same instrument, re-registering a *name* as a
+different metric type (or a histogram with different bounds) raises
+:class:`~repro.errors.TelemetryError` — silent shadowing is precisely
+the observability bug this subsystem exists to prevent.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+from .snapshot import LabelPairs, MetricSample, TelemetrySnapshot
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DELTA_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: Default histogram bounds for window deltas (K): symmetric around 0,
+#: resolving the jitter band (|Δt| < 0.5 K) from genuine excursions.
+DELTA_BUCKETS: Tuple[float, ...] = (
+    -5.0, -2.0, -1.0, -0.5, -0.2, 0.0, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+#: Default histogram bounds for durations in seconds (host-side wall
+#: times; sim-side code must derive durations from the sim clock).
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise TelemetryError(f"counter increment must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The accumulated total."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Adjust the current value by ``amount`` (may be negative)."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The most recently recorded value."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution of observed values.
+
+    Parameters
+    ----------
+    bounds:
+        Strictly ascending finite upper bounds.  An implicit ``+inf``
+        overflow bucket is always appended; bounds are fixed at
+        construction (Prometheus-style), so snapshots from different
+        processes merge bucket-by-bucket.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Sequence[float] = SECONDS_BUCKETS) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise TelemetryError("histogram needs at least one bucket bound")
+        if any(a >= b for a, b in zip(cleaned, cleaned[1:])):
+            raise TelemetryError(
+                f"histogram bounds must be strictly ascending, got {cleaned}"
+            )
+        if cleaned[-1] == float("inf"):
+            cleaned = cleaned[:-1]  # the overflow bucket is implicit
+        self.bounds = cleaned
+        self._counts: List[int] = [0] * (len(cleaned) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``value <= bound`` buckets leftward)."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    def buckets(self) -> Tuple[Tuple[float, int], ...]:
+        """Non-cumulative ``(upper_bound, count)`` pairs, ``+inf`` last."""
+        uppers = self.bounds + (float("inf"),)
+        return tuple(zip(uppers, self._counts))
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+def _freeze_labels(labels: Dict[str, object]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Name+labels → instrument table with typed get-or-create access.
+
+    The registry is deliberately not a singleton: each
+    :class:`~repro.cluster.cluster.Cluster` owns one (sim-side) and
+    each :class:`~repro.runtime.executor.RunExecutor` owns one
+    (host-side); snapshots are merged explicitly where aggregation is
+    wanted.
+    """
+
+    #: False only on :class:`NullRegistry` — the one branch hot paths
+    #: may take before building event payloads.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+        self._types: Dict[str, str] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def _check_type(self, name: str, metric_type: str) -> None:
+        known = self._types.setdefault(name, metric_type)
+        if known != metric_type:
+            raise TelemetryError(
+                f"metric {name!r} already registered as {known}; "
+                f"cannot re-register as {metric_type}"
+            )
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter at ``(name, labels)``."""
+        self._check_type(name, "counter")
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Counter()
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge at ``(name, labels)``."""
+        self._check_type(name, "gauge")
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = Gauge()
+        return instrument  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create the histogram at ``(name, labels)``.
+
+        All label sets of one ``name`` share bucket bounds; the first
+        registration fixes them and later disagreement raises.
+        """
+        self._check_type(name, "histogram")
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(
+                bounds=buckets if buckets is not None else SECONDS_BUCKETS
+            )
+            fixed = self._bounds.setdefault(name, instrument.bounds)
+            if fixed != instrument.bounds:
+                raise TelemetryError(
+                    f"histogram {name!r} bounds fixed at {fixed}; "
+                    f"got conflicting {instrument.bounds}"
+                )
+            self._instruments[key] = instrument
+        elif buckets is not None and tuple(
+            float(b) for b in buckets if b != float("inf")
+        ) != self._bounds.get(name):
+            raise TelemetryError(
+                f"histogram {name!r} bounds fixed at {self._bounds[name]}; "
+                f"got conflicting {tuple(buckets)}"
+            )
+        return instrument  # type: ignore[return-value]
+
+    # -- snapshotting ----------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze current instrument state into a picklable snapshot."""
+        samples: List[MetricSample] = []
+        for (name, labels), instrument in self._instruments.items():
+            metric_type = self._types[name]
+            if metric_type == "histogram":
+                assert isinstance(instrument, Histogram)
+                samples.append(
+                    MetricSample(
+                        name=name,
+                        type="histogram",
+                        labels=labels,
+                        sum=instrument.sum,
+                        count=instrument.count,
+                        buckets=instrument.buckets(),
+                    )
+                )
+            else:
+                samples.append(
+                    MetricSample(
+                        name=name,
+                        type=metric_type,
+                        labels=labels,
+                        value=instrument.value,  # type: ignore[union-attr]
+                    )
+                )
+        return TelemetrySnapshot(samples=tuple(samples))
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot) -> None:
+        """Fold a snapshot's samples into this registry's instruments.
+
+        Counters and histogram buckets add; gauges adopt the snapshot
+        value.  This is how executor processes fold worker-side and
+        run-side telemetry into one host registry.
+        """
+        for sample in snapshot:
+            labels = dict(sample.labels)
+            if sample.type == "counter":
+                self.counter(sample.name, **labels).inc(sample.value)
+            elif sample.type == "gauge":
+                self.gauge(sample.name, **labels).set(sample.value)
+            else:
+                bounds = tuple(b for b, _ in sample.buckets)
+                histogram = self.histogram(sample.name, buckets=bounds, **labels)
+                for (_, count), position in zip(
+                    sample.buckets, range(len(histogram._counts))
+                ):
+                    histogram._counts[position] += count
+                histogram._sum += sample.sum
+                histogram._count += sample.count
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out shared no-op instruments.
+
+    Every accessor returns the same do-nothing singleton, so wiring
+    code runs identically whether telemetry is on or off and the
+    per-tick cost when off is a single empty method call.
+    """
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram(bounds=(1.0,))
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot()
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot) -> None:
+        pass
+
+
+#: The shared disabled registry — the default everywhere telemetry is
+#: optional.  Never mutated (its instruments ignore writes).
+NULL_REGISTRY = NullRegistry()

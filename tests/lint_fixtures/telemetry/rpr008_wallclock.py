@@ -1,0 +1,21 @@
+"""Known-bad fixture: wall-clock access inside a telemetry module.
+
+Both imports below are RPR001-*clean* (``perf_counter``/``monotonic``
+reads and a bare ``datetime`` import are tolerated elsewhere for
+wall-time reporting) — RPR008 is the stricter, telemetry-only contract
+that must catch them anyway.
+"""
+
+import datetime
+import time
+from time import monotonic
+
+__all__ = ["emit_with_wall_clock"]
+
+
+def emit_with_wall_clock(events, source: str) -> float:
+    """Timestamps a telemetry record from the host clock: banned."""
+    now = time.perf_counter()
+    events.emit(now, "telemetry.decision.fan", source, started=monotonic())
+    _ = datetime
+    return now

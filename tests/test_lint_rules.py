@@ -299,6 +299,51 @@ def test_rpr006_nested_run_ignored(tmp_path: Path) -> None:
     assert findings == []
 
 
+# ---------------------------------------------------------------- RPR008
+
+
+def test_rpr008_only_applies_under_telemetry(tmp_path: Path) -> None:
+    source = """
+        import time
+        __all__ = ["stamp"]
+        def stamp():
+            return time.perf_counter()
+        """
+    inside = lint_source(tmp_path, source, relpath="telemetry/emit.py")
+    outside = lint_source(tmp_path, source, relpath="runtime/emit.py")
+    assert codes(inside) == ["RPR008"]
+    assert outside == []
+
+
+def test_rpr008_flags_from_imports_and_datetime(tmp_path: Path) -> None:
+    findings = lint_source(
+        tmp_path,
+        """
+        from time import monotonic
+        import datetime as dt
+        __all__ = ["stamp"]
+        def stamp():
+            return monotonic(), dt
+        """,
+        relpath="telemetry/emit.py",
+    )
+    assert codes(findings) == ["RPR008", "RPR008"]
+
+
+def test_rpr008_sim_clock_values_are_fine(tmp_path: Path) -> None:
+    """Caller-supplied timestamps are the sanctioned pattern."""
+    findings = lint_source(
+        tmp_path,
+        """
+        __all__ = ["emit"]
+        def emit(events, t, source):
+            events.emit(t, "telemetry.decision.fan", source)
+        """,
+        relpath="telemetry/emit.py",
+    )
+    assert findings == []
+
+
 # ---------------------------------------------------- suppressions & config
 
 

@@ -31,6 +31,7 @@ BAD_FIXTURES = {
     "rpr005_hygiene.py": "RPR005",
     "experiments/rpr006_run.py": "RPR006",
     "experiments/rpr007_direct_run.py": "RPR007",
+    "telemetry/rpr008_wallclock.py": "RPR008",
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")

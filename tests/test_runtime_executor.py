@@ -97,3 +97,74 @@ def test_cached_result_matches_fresh(tmp_path) -> None:
     warm = RunExecutor(cache_dir=tmp_path, cache_version="v1")
     warm.run(spec)  # populate
     assert_results_equal(warm.run(spec), fresh)
+
+
+# ---------------------------------------------------------------- telemetry
+
+
+def test_telemetry_stats_identical_serial_vs_parallel() -> None:
+    """Registry-backed stats survive process fan-out unchanged."""
+    specs = specs_pair()
+    serial = RunExecutor(jobs=1, telemetry=True)
+    parallel = RunExecutor(jobs=2, telemetry=True)
+    serial_results = serial.map(specs)
+    parallel_results = parallel.map(specs)
+    expected = {
+        "executed": 2,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "deduplicated": 0,
+    }
+    assert serial.stats.as_dict() == expected
+    assert parallel.stats.as_dict() == expected
+    for s, p in zip(serial_results, parallel_results):
+        assert s.telemetry is not None, "snapshot must survive the pool"
+        assert s.telemetry == p.telemetry
+    # Sim-side telemetry (everything but host.*) is identical too.
+    assert serial.telemetry_snapshot().without(
+        "host."
+    ) == parallel.telemetry_snapshot().without("host.")
+
+
+def test_telemetry_stats_with_cache_match_serial(tmp_path) -> None:
+    specs = specs_pair()
+    serial = RunExecutor(cache_dir=tmp_path / "a", telemetry=True)
+    parallel = RunExecutor(jobs=2, cache_dir=tmp_path / "b", telemetry=True)
+    for executor in (serial, parallel):
+        executor.map(specs)
+        executor.map(specs)
+    assert serial.stats.as_dict() == parallel.stats.as_dict() == {
+        "executed": 2,
+        "cache_hits": 2,
+        "cache_misses": 2,
+        "deduplicated": 0,
+    }
+
+
+def test_telemetry_collects_primary_pairs_once() -> None:
+    spec = specs_pair()[0]
+    executor = RunExecutor(telemetry=True)
+    first, second = executor.map([spec, spec])
+    assert first is second
+    assert len(executor.collected) == 1
+    collected_spec, collected_result = executor.collected[0]
+    assert collected_spec.telemetry is True
+    assert collected_result is first
+
+
+def test_host_metrics_record_per_spec_wall_time() -> None:
+    executor = RunExecutor(telemetry=True)
+    executor.map(specs_pair())
+    snapshot = executor.telemetry_snapshot()
+    wall = snapshot.get("host.spec.wall_seconds")
+    assert wall is not None
+    assert wall.count == 2
+    assert wall.sum > 0.0
+    assert snapshot.value("host.exec.executed") == 2.0
+
+
+def test_default_executor_is_telemetry_free() -> None:
+    executor = RunExecutor()
+    result = executor.run(specs_pair()[0])
+    assert result.telemetry is None
+    assert executor.collected == []

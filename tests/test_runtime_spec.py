@@ -91,6 +91,7 @@ def test_digest_stable_across_constructions() -> None:
         {"n_nodes": 2},
         {"rigs": [("constant_fan", {"duty": 0.5})]},
         {"quick": True},
+        {"telemetry": True},
         {"fault": FaultSpec(kind="fan_fail", node=0, at=5.0, horizon=10.0)},
         {"ambient": ("rack_gradient", {"base": 28.0, "gradient": 5.0})},
     ],

@@ -1,0 +1,181 @@
+"""Exporter contracts: deterministic JSONL, valid Prometheus text.
+
+The headline acceptance criterion lives here: two runs of the same
+telemetry-enabled spec produce **byte-identical** ``export_jsonl``
+output, and every line of it validates against the checked-in schema
+(``docs/telemetry.schema.json``) using the same stdlib validator CI
+uses (``tools/validate_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import RunSpec, execute_spec
+from repro.telemetry import (
+    MetricsRegistry,
+    export_jsonl,
+    export_prometheus,
+    export_summary,
+    jsonl_records,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_PATH = REPO_ROOT / "docs" / "telemetry.schema.json"
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_telemetry", REPO_ROOT / "tools" / "validate_telemetry.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validator = _load_validator()
+
+
+def telemetry_spec(rig: str = "dynamic_fan") -> RunSpec:
+    return RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": 30.0},
+        rigs=[rig],
+        n_nodes=1,
+        seed=11,
+        timeout=240.0,
+        telemetry=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    spec = telemetry_spec()
+    return [(spec, execute_spec(spec))]
+
+
+# -------------------------------------------------------------------- JSONL
+
+
+def test_jsonl_is_byte_identical_across_runs(run_pair) -> None:
+    spec = telemetry_spec()
+    again = [(spec, execute_spec(spec))]
+    assert export_jsonl(run_pair).encode() == export_jsonl(again).encode()
+
+
+def test_jsonl_stream_shape(run_pair) -> None:
+    records = list(jsonl_records(run_pair))
+    assert records[0]["kind"] == "run"
+    assert records[0]["schema"] == 1
+    assert records[0]["digest"] == run_pair[0][0].digest()
+    kinds = [r["kind"] for r in records]
+    # run header, then events, then metrics — no interleaving.
+    assert kinds == (
+        ["run"]
+        + ["event"] * kinds.count("event")
+        + ["metric"] * kinds.count("metric")
+    )
+    assert kinds.count("event") > 0 and kinds.count("metric") > 0
+    # host.* never leaks into the deterministic stream.
+    assert all(
+        not r["name"].startswith("host.")
+        for r in records
+        if r["kind"] == "metric"
+    )
+
+
+def test_jsonl_validates_against_checked_in_schema(run_pair) -> None:
+    schema = json.loads(SCHEMA_PATH.read_text())
+    lines = export_jsonl(run_pair).splitlines()
+    assert lines
+    errors = validator.validate_lines(lines, schema)
+    assert errors == []
+
+
+def test_schema_validator_rejects_malformed_records() -> None:
+    schema = json.loads(SCHEMA_PATH.read_text())
+    bad = [
+        json.dumps({"kind": "run", "schema": 1}),  # missing fields
+        json.dumps({"kind": "event", "t": "soon", "category": "x",
+                    "source": "y", "data": {}}),  # t not a number
+        json.dumps({"kind": "metric", "name": "m", "type": "summary",
+                    "labels": {}}),  # unknown metric type
+        "not json at all",
+    ]
+    errors = validator.validate_lines(bad, schema)
+    assert len(errors) >= len(bad)
+
+
+# --------------------------------------------------------------- Prometheus
+
+_PROM_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\""
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    rf"(\{{{_PROM_LABEL}(,{_PROM_LABEL})*\}})?"  # optional label set
+    r" (\+Inf|-Inf|NaN|-?[0-9.e+-]+)$"  # value
+)
+
+
+def check_prometheus_text(text: str) -> None:
+    """Minimal Prometheus text-format (0.0.4) checker.
+
+    Every non-comment line must parse as ``name{labels} value``; every
+    sample must be preceded by a ``# TYPE`` for its base name; histogram
+    ``_bucket`` series must be cumulative and end at ``le="+Inf"``.
+    """
+    typed: dict = {}
+    buckets: dict = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, metric_type = line.split(" ")
+            assert metric_type in ("counter", "gauge", "histogram"), line
+            typed[name] = metric_type
+            continue
+        assert _PROM_SAMPLE.match(line), f"unparseable sample: {line!r}"
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"sample before TYPE: {line!r}"
+        if name.endswith("_bucket"):
+            series = line.rsplit('le="', 1)[0]
+            value = float(line.rsplit(" ", 1)[1])
+            assert value >= buckets.get(series, 0.0), f"non-cumulative: {line!r}"
+            buckets[series] = value
+    for series in buckets:
+        assert 'le="+Inf"' not in series  # the key strips the le label
+    assert typed, "no metrics rendered"
+
+
+def test_prometheus_export_is_well_formed(run_pair) -> None:
+    snapshot = run_pair[0][1].telemetry
+    text = export_prometheus(snapshot)
+    check_prometheus_text(text)
+    # Counter convention: _total suffix present for counters.
+    assert "# TYPE repro_ctrl_rounds_total counter" in text
+    assert 'le="+Inf"' in text
+
+
+def test_prometheus_escapes_label_values() -> None:
+    registry = MetricsRegistry()
+    registry.counter("odd", note='say "hi"\nback\\slash').inc()
+    text = export_prometheus(registry.snapshot())
+    # The escaped forms must appear; no raw newline inside a label value.
+    assert "\\n" in text and '\\"' in text and "\\\\" in text
+    check_prometheus_text(text)
+
+
+# ------------------------------------------------------------------ summary
+
+
+def test_summary_lists_every_sample(run_pair) -> None:
+    snapshot = run_pair[0][1].telemetry
+    text = export_summary(snapshot)
+    for sample in snapshot:
+        assert sample.name in text
+    assert export_summary(MetricsRegistry().snapshot()) == "(no telemetry recorded)"

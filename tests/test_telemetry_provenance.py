@@ -1,0 +1,104 @@
+"""Decision provenance: what gets recorded, and that recording is inert.
+
+The two contracts under test:
+
+* with telemetry **on**, every completed control round publishes the
+  paper's decision internals (Δt_l1/Δt_l2, triggering level, slot/mode
+  motion, ``n_p``; tDVFS threshold state) as events and metrics;
+* with telemetry **off** (the default), runs emit zero telemetry
+  events — and turning it on is *observation-only*: the simulated
+  physics (traces, governor actions) are identical either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import RunSpec, execute_spec
+from repro.telemetry import DECISION_CATEGORY
+
+
+def run_spec(rig: str, telemetry: bool):
+    return execute_spec(
+        RunSpec.of(
+            "mixed_thermal_profile",
+            {"duration": 30.0},
+            rigs=[rig],
+            n_nodes=1,
+            seed=11,
+            timeout=240.0,
+            telemetry=telemetry,
+        )
+    )
+
+
+def test_controller_rounds_record_decision_internals() -> None:
+    result = run_spec("dynamic_fan", telemetry=True)
+    decisions = result.events.filter(category=f"{DECISION_CATEGORY}.fan")
+    rounds = [e for e in decisions if "delta_l1" in e.data]
+    assert rounds, "every completed window round must be recorded"
+    for event in rounds:
+        data = event.data
+        assert data["via"] in {"l1", "l2", "hold"}
+        assert 1 <= data["n_p"] <= data["array_size"]
+        assert 0 <= data["slot"] < data["array_size"]
+        assert 0 <= data["target_slot"] < data["array_size"]
+        if data["delta_l2"] is None:
+            # l2 can only be silent before the FIFO fills (first 5 rounds).
+            assert event.time <= 6.0
+    # The metrics side agrees with the event side.
+    snapshot = result.telemetry
+    assert snapshot is not None
+    assert snapshot.total("ctrl.rounds") == len(rounds)
+    deltas = snapshot.get("ctrl.delta_l1", ctrl="node0.fan-dynamic")
+    assert deltas is not None and deltas.count == len(rounds)
+
+
+def test_tdvfs_rounds_record_threshold_state() -> None:
+    result = run_spec("tdvfs", telemetry=True)
+    decisions = result.events.filter(category=f"{DECISION_CATEGORY}.tdvfs")
+    assert decisions, "tDVFS must record every evaluated l2-full round"
+    for event in decisions:
+        data = event.data
+        assert data["action"] in {"trigger", "restore", "hold", "cooldown"}
+        assert isinstance(data["consistently_above"], bool)
+        assert data["effective_threshold"] >= 51.0 - 1e-9
+        assert data["l2_average"] > 0.0
+        assert data["frequency_ghz"] > 0.0
+    snapshot = result.telemetry
+    assert snapshot.total("tdvfs.rounds") == len(decisions)
+
+
+def test_telemetry_off_emits_nothing() -> None:
+    result = run_spec("dynamic_fan", telemetry=False)
+    assert result.telemetry is None
+    assert result.events.filter(category="telemetry.") == []
+
+
+def test_telemetry_is_observation_only() -> None:
+    """Same spec with and without telemetry: identical physics."""
+    bare = run_spec("dynamic_fan", telemetry=False)
+    observed = run_spec("dynamic_fan", telemetry=True)
+    assert bare.execution_time == observed.execution_time
+    assert bare.average_power == observed.average_power
+    assert bare.traces.names() == observed.traces.names()
+    for name in bare.traces.names():
+        assert np.array_equal(
+            bare.traces[name].values, observed.traces[name].values
+        ), name
+    # The observed run's event log is the bare log plus telemetry.* only.
+    extra = [
+        e for e in observed.events if not e.category.startswith("telemetry.")
+    ]
+    assert len(extra) == len(bare.events)
+    for ours, theirs in zip(extra, bare.events):
+        assert str(ours) == str(theirs)
+
+
+def test_sim_counters_track_sensor_cadence() -> None:
+    result = run_spec("dynamic_fan", telemetry=True)
+    snapshot = result.telemetry
+    rounds = snapshot.value("sim.sensor_rounds")
+    assert rounds > 0
+    assert snapshot.value("sim.samples") == rounds  # one node
+    assert snapshot.total("sim.execution_seconds") == result.execution_time

@@ -1,0 +1,157 @@
+"""Unit contracts of repro.telemetry: registry, instruments, snapshots."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DELTA_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetrySnapshot,
+)
+
+# ---------------------------------------------------------------- instruments
+
+
+def test_counter_accumulates_and_rejects_negative() -> None:
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(TelemetryError):
+        c.inc(-1.0)
+
+
+def test_gauge_last_write_wins() -> None:
+    g = Gauge()
+    g.set(4.0)
+    g.add(-1.5)
+    assert g.value == 2.5
+
+
+def test_histogram_buckets_are_le_inclusive() -> None:
+    h = Histogram(bounds=(1.0, 2.0))
+    for value in (0.5, 1.0, 1.5, 99.0):
+        h.observe(value)
+    assert h.buckets() == ((1.0, 2), (2.0, 1), (float("inf"), 1))
+    assert h.count == 4
+    assert h.sum == pytest.approx(102.0)
+
+
+def test_histogram_rejects_unsorted_bounds() -> None:
+    with pytest.raises(TelemetryError):
+        Histogram(bounds=(2.0, 1.0))
+    with pytest.raises(TelemetryError):
+        Histogram(bounds=())
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_keys_by_name_and_labels() -> None:
+    registry = MetricsRegistry()
+    a = registry.counter("ctrl.rounds", ctrl="n0")
+    b = registry.counter("ctrl.rounds", ctrl="n1")
+    assert a is not b
+    assert registry.counter("ctrl.rounds", ctrl="n0") is a
+
+
+def test_registry_rejects_type_conflicts() -> None:
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TelemetryError):
+        registry.gauge("x")
+
+
+def test_registry_rejects_histogram_bound_conflicts() -> None:
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0, 2.0), ctrl="a")
+    with pytest.raises(TelemetryError):
+        registry.histogram("h", buckets=(5.0,), ctrl="b")
+
+
+def test_null_registry_is_a_true_noop() -> None:
+    assert not NULL_REGISTRY.enabled
+    c = NULL_REGISTRY.counter("anything", label="x")
+    c.inc(1e9)
+    assert c.value == 0.0
+    g = NULL_REGISTRY.gauge("g")
+    g.set(7.0)
+    assert g.value == 0.0
+    h = NULL_REGISTRY.histogram("h")
+    h.observe(1.0)
+    assert h.count == 0
+    assert len(NULL_REGISTRY.snapshot()) == 0
+    # Shared singletons: no allocation per call site.
+    assert NULL_REGISTRY.counter("a") is NullRegistry().counter("b")
+
+
+# ---------------------------------------------------------------- snapshots
+
+
+def make_snapshot() -> TelemetrySnapshot:
+    registry = MetricsRegistry()
+    registry.counter("ctrl.rounds", ctrl="n0", via="l1").inc(3)
+    registry.gauge("ctrl.slot", ctrl="n0").set(7.0)
+    h = registry.histogram("ctrl.delta_l1", buckets=DELTA_BUCKETS, ctrl="n0")
+    h.observe(0.3)
+    h.observe(-3.0)
+    return registry.snapshot()
+
+
+def test_snapshot_is_picklable_and_stable() -> None:
+    snap = make_snapshot()
+    assert pickle.loads(pickle.dumps(snap)) == snap
+    assert snap == make_snapshot()
+
+
+def test_snapshot_lookups() -> None:
+    snap = make_snapshot()
+    assert snap.value("ctrl.rounds", ctrl="n0", via="l1") == 3.0
+    assert snap.value("ctrl.rounds", ctrl="missing") == 0.0
+    assert snap.total("ctrl.rounds") == 3.0
+    hist = snap.get("ctrl.delta_l1", ctrl="n0")
+    assert hist is not None
+    assert hist.count == 2
+
+
+def test_snapshot_merge_semantics() -> None:
+    merged = TelemetrySnapshot.merge(make_snapshot(), make_snapshot())
+    # Counters and histograms add; gauges stay last-writer.
+    assert merged.value("ctrl.rounds", ctrl="n0", via="l1") == 6.0
+    assert merged.get("ctrl.delta_l1", ctrl="n0").count == 4
+    assert merged.value("ctrl.slot", ctrl="n0") == 7.0
+
+
+def test_snapshot_with_labels_disambiguates() -> None:
+    a = make_snapshot().with_labels(run="a")
+    b = make_snapshot().with_labels(run="b")
+    merged = TelemetrySnapshot.merge(a, b)
+    assert merged.value("ctrl.rounds", ctrl="n0", via="l1", run="a") == 3.0
+    assert merged.total("ctrl.rounds") == 6.0
+
+
+def test_snapshot_filter_and_without() -> None:
+    registry = MetricsRegistry()
+    registry.counter("host.cache.hits").inc()
+    registry.counter("sim.samples").inc()
+    snap = registry.snapshot()
+    assert [s.name for s in snap.filter("host.")] == ["host.cache.hits"]
+    assert [s.name for s in snap.without("host.")] == ["sim.samples"]
+
+
+def test_merge_snapshot_folds_into_registry() -> None:
+    registry = MetricsRegistry()
+    registry.merge_snapshot(make_snapshot())
+    registry.merge_snapshot(make_snapshot())
+    snap = registry.snapshot()
+    assert snap.value("ctrl.rounds", ctrl="n0", via="l1") == 6.0
+    assert snap.get("ctrl.delta_l1", ctrl="n0").count == 4

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL export against docs/telemetry.schema.json.
+
+Stdlib-only validator for the small JSON-Schema subset the telemetry
+schema uses — ``type``, ``enum``, ``properties``, ``required``,
+``additionalProperties``, ``items`` and ``oneOf``.  It exists so tests
+and CI can check `repro run --telemetry=jsonl` output without adding a
+jsonschema dependency.
+
+Usage::
+
+    python tools/validate_telemetry.py docs/telemetry.schema.json out.jsonl
+    ... | python tools/validate_telemetry.py docs/telemetry.schema.json -
+
+Exit status 0 when every line validates, 1 otherwise (offending lines
+are reported on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterable, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    # bool is a subclass of int in Python; JSON keeps them distinct.
+    if name in ("number", "integer") and isinstance(instance, bool):
+        return False
+    return isinstance(instance, expected)
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str]:
+    """Return a list of violation messages (empty when valid)."""
+    errors: List[str] = []
+
+    if "type" in schema:
+        names = schema["type"]
+        names = [names] if isinstance(names, str) else names
+        if not any(_type_ok(instance, n) for n in names):
+            return [f"{path}: expected type {'/'.join(names)}, got {type(instance).__name__}"]
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+
+    if "oneOf" in schema:
+        branch_errors = []
+        matches = 0
+        for i, branch in enumerate(schema["oneOf"]):
+            sub = validate(instance, branch, path)
+            if sub:
+                branch_errors.append(f"  oneOf[{i}]: {sub[0]}")
+            else:
+                matches += 1
+        if matches != 1:
+            errors.append(
+                f"{path}: matched {matches} of {len(schema['oneOf'])} oneOf branches\n"
+                + "\n".join(branch_errors)
+            )
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in properties:
+                errors.extend(validate(value, properties[key], f"{path}.{key}"))
+            else:
+                extra = schema.get("additionalProperties", True)
+                if extra is False:
+                    errors.append(f"{path}: unexpected property {key!r}")
+                elif isinstance(extra, dict):
+                    errors.extend(validate(value, extra, f"{path}.{key}"))
+
+    if isinstance(instance, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+
+    return errors
+
+
+def validate_lines(lines: Iterable[str], schema: Dict[str, Any]) -> List[str]:
+    """Validate each non-empty line of a JSONL stream; return messages."""
+    errors: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        for message in validate(record, schema):
+            errors.append(f"line {lineno}: {message}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as fh:
+        schema = json.load(fh)
+    if argv[2] == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(argv[2], "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    errors = validate_lines(lines, schema)
+    for message in errors:
+        print(message, file=sys.stderr)
+    if not errors:
+        print(f"telemetry-validate: {len([l for l in lines if l.strip()])} records OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
