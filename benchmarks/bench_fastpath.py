@@ -1,0 +1,114 @@
+"""Baseline the fastpath step compiler on the fig07 sweep.
+
+Times the Figure-7 four-cap sweep through the reference engine and
+through the :mod:`repro.fastpath` step compiler (same seed and
+settings as ``bench_runtime.py``), verifies the fastpath results are
+identical to the reference ones — execution times, full trace sets,
+events and per-node summaries — and writes ``BENCH_fastpath.json`` so
+future PRs can compare against this PR's numbers::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --quick    # smoke
+
+The acceptance gate is a **2x speedup** of the fastpath leg over the
+reference leg (the bench exits non-zero below the floor).  Unlike the
+process fan-out of ``bench_runtime.py``, this is single-process work —
+the gate holds on any host, single-core included.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig07_max_pwm
+from repro.runtime import DEFAULT_SEED, execute_spec
+
+SPEEDUP_FLOOR = 2.0
+
+
+def _time_sweep(specs, repeats: int):
+    """Median sweep wall time (seconds) and the last sweep's results."""
+    walls, results = [], None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = [execute_spec(spec) for spec in specs]
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls), results
+
+
+def _assert_equivalent(reference, fastpath) -> None:
+    """Bitwise result equality; raises AssertionError with the field."""
+    for i, (ref, fast) in enumerate(zip(reference, fastpath)):
+        assert fast.execution_time == ref.execution_time, f"run {i}: time"
+        assert fast.average_power == ref.average_power, f"run {i}: power"
+        assert fast.energy_joules == ref.energy_joules, f"run {i}: energy"
+        assert fast.retired_cycles == ref.retired_cycles, f"run {i}: cycles"
+        assert fast.node_shutdown == ref.node_shutdown, f"run {i}: shutdown"
+        assert sorted(fast.traces.names()) == sorted(ref.traces.names())
+        for name in ref.traces.names():
+            rt, ft = ref.traces[name], fast.traces[name]
+            assert (ft.times == rt.times).all(), f"run {i}: {name} times"
+            assert (ft.values == rt.values).all(), f"run {i}: {name} values"
+        assert len(fast.events) == len(ref.events), f"run {i}: event count"
+        for ea, eb in zip(ref.events, fast.events):
+            assert str(ea) == str(eb), f"run {i}: event {ea}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 5 if args.quick else 3
+    specs = fig07_max_pwm.specs(seed=args.seed, quick=args.quick)
+    fast_specs = [dataclasses.replace(s, fastpath=True) for s in specs]
+    print(f"fig07 sweep: {len(specs)} runs, {repeats} repeats per leg")
+
+    reference_s, reference_results = _time_sweep(specs, repeats)
+    print(f"reference : {reference_s:7.2f}s median")
+    fastpath_s, fastpath_results = _time_sweep(fast_specs, repeats)
+    print(f"fastpath  : {fastpath_s:7.2f}s median")
+
+    print("verifying result equivalence ...", end=" ")
+    _assert_equivalent(reference_results, fastpath_results)
+    print("identical")
+
+    speedup = reference_s / fastpath_s if fastpath_s > 0 else float("inf")
+    ok = speedup >= SPEEDUP_FLOOR
+    print(f"speedup   : {speedup:6.2f}x  (gate >= {SPEEDUP_FLOOR}x)")
+    print("gate      :", "PASS" if ok else "FAIL")
+
+    payload = {
+        "benchmark": "fastpath step compiler, fig07 max-PWM cap sweep",
+        "runs": len(specs),
+        "quick": args.quick,
+        "seed": args.seed,
+        "repeats": repeats,
+        "reference_wall_s": round(reference_s, 3),
+        "fastpath_wall_s": round(fastpath_s, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "equivalent": True,
+        "gate": "pass" if ok else "fail",
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

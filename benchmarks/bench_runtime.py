@@ -31,10 +31,11 @@ from repro.experiments import fig07_max_pwm
 from repro.runtime import DEFAULT_SEED, RunExecutor
 
 
-def _time_sweep(specs, jobs: int, cache_dir=None) -> float:
+def _time_sweep(specs, jobs: int, cache_dir=None):
+    executor = RunExecutor(jobs=jobs, cache_dir=cache_dir)
     t0 = time.perf_counter()
-    RunExecutor(jobs=jobs, cache_dir=cache_dir).map(specs)
-    return time.perf_counter() - t0
+    executor.map(specs)
+    return time.perf_counter() - t0, executor.effective_jobs
 
 
 def main(argv=None) -> int:
@@ -53,13 +54,18 @@ def main(argv=None) -> int:
     specs = fig07_max_pwm.specs(seed=args.seed, quick=args.quick)
     print(f"fig07 sweep: {len(specs)} runs, jobs={args.jobs}, cpus={cpus}")
 
-    serial_s = _time_sweep(specs, jobs=1)
+    serial_s, _ = _time_sweep(specs, jobs=1)
     print(f"serial   : {serial_s:7.2f}s")
-    parallel_s = _time_sweep(specs, jobs=args.jobs)
-    print(f"parallel : {parallel_s:7.2f}s")
+    parallel_s, effective_jobs = _time_sweep(specs, jobs=args.jobs)
+    clamp_note = (
+        f" (clamped to {effective_jobs} worker(s))"
+        if effective_jobs < args.jobs
+        else ""
+    )
+    print(f"parallel : {parallel_s:7.2f}s{clamp_note}")
     with tempfile.TemporaryDirectory() as cache_dir:
         _time_sweep(specs, jobs=1, cache_dir=cache_dir)  # warm
-        cached_s = _time_sweep(specs, jobs=1, cache_dir=cache_dir)
+        cached_s, _ = _time_sweep(specs, jobs=1, cache_dir=cache_dir)
     print(f"cached   : {cached_s:7.2f}s")
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
@@ -76,6 +82,7 @@ def main(argv=None) -> int:
         "benchmark": "fig07 max-PWM cap sweep",
         "runs": len(specs),
         "jobs": args.jobs,
+        "effective_jobs": effective_jobs,
         "cpus": cpus,
         "quick": args.quick,
         "seed": args.seed,

@@ -46,6 +46,7 @@ def bench_spec(seed: int, duration: float, telemetry: bool) -> RunSpec:
 
 
 def _time_runs(spec: RunSpec, repeats: int):
+    execute_spec(spec)  # warmup: imports, allocator and cache effects
     walls, result = [], None
     for _ in range(repeats):
         t0 = time.perf_counter()

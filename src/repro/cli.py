@@ -7,6 +7,7 @@ Usage::
     python -m repro run fig9 --quick --seed 7
     python -m repro run all --export results/
     python -m repro run fig7 --jobs 4 --cache-dir .repro-cache
+    python -m repro run fig7 --fastpath
     python -m repro run fig5 --quick --telemetry=jsonl
     python -m repro telemetry fig5 --limit 20
 
@@ -130,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
             f"--export, write) them in FMT ({'/'.join(EXPORTER_FORMATS)})"
         ),
     )
+    run_p.add_argument(
+        "--fastpath",
+        action="store_true",
+        help=(
+            "run through the repro.fastpath step compiler "
+            "(byte-identical results, roughly half the wall time)"
+        ),
+    )
 
     tel_p = sub.add_parser(
         "telemetry",
@@ -204,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="content-addressed result cache directory (default: no cache)",
+    )
+    series_p.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="run through the repro.fastpath step compiler",
     )
 
     sub.add_parser(
@@ -304,7 +318,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .experiments.series import SERIES_REGISTRY
 
-        executor = RunExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+        executor = RunExecutor(
+            jobs=args.jobs, cache_dir=args.cache_dir, fastpath=args.fastpath
+        )
         curves = SERIES_REGISTRY[args.figure](
             seed=args.seed, quick=args.quick, executor=executor
         )
@@ -324,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         telemetry=args.telemetry is not None,
+        fastpath=args.fastpath,
     )
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -125,6 +125,11 @@ class Cluster:
         :class:`RunResult` carries a frozen snapshot.  Default: the
         shared :data:`~repro.telemetry.registry.NULL_REGISTRY` (true
         no-op).
+    fastpath:
+        When True, the engine runs through the :mod:`repro.fastpath`
+        step compiler and the sensor task records through pre-resolved
+        trace handles and block writers.  Results (traces, events,
+        telemetry) are byte-identical to the reference path.
     """
 
     def __init__(
@@ -132,11 +137,14 @@ class Cluster:
         config: Optional[ClusterConfig] = None,
         ambient_factory=None,
         telemetry: Optional[MetricsRegistry] = None,
+        fastpath: bool = False,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.fastpath = bool(fastpath)
+        self._writers: list = []
         self.rngs = RngStreams(self.config.seed)
-        self.engine = SimulationEngine(dt=self.config.dt)
+        self.engine = SimulationEngine(dt=self.config.dt, fastpath=self.fastpath)
         self.events: EventLog = self.engine.events
         self.traces: TraceSet = self.engine.traces
         self.nodes: List[Node] = []
@@ -206,21 +214,27 @@ class Cluster:
         sensor_samples = self.telemetry.counter("sim.samples")
         n_nodes = float(len(self.nodes))
 
-        def sample_and_record(t: float) -> None:
-            sensor_rounds.inc()
-            sensor_samples.inc(n_nodes)
-            for node in self.nodes:
-                temp = node.sensor.sample(t)
-                self.traces.record(f"{node.name}.temp", t, temp)
-                self.traces.record(f"{node.name}.duty", t, node.fan_duty)
-                self.traces.record(f"{node.name}.rpm", t, node.fan_rpm)
-                self.traces.record(
-                    f"{node.name}.freq_ghz", t, node.dvfs.pstate.frequency_ghz
-                )
-                self.traces.record(f"{node.name}.power", t, node.wall_power)
-                self.traces.record(f"{node.name}.util", t, node.core.utilization)
-                for governor in self._governors[node.name]:
-                    governor.on_sample(t, temp)
+        if self.fastpath:
+            sample_and_record = self._compile_sampler(
+                sensor_rounds, sensor_samples, n_nodes
+            )
+        else:
+
+            def sample_and_record(t: float) -> None:
+                sensor_rounds.inc()
+                sensor_samples.inc(n_nodes)
+                for node in self.nodes:
+                    temp = node.sensor.sample(t)
+                    self.traces.record(f"{node.name}.temp", t, temp)
+                    self.traces.record(f"{node.name}.duty", t, node.fan_duty)
+                    self.traces.record(f"{node.name}.rpm", t, node.fan_rpm)
+                    self.traces.record(
+                        f"{node.name}.freq_ghz", t, node.dvfs.pstate.frequency_ghz
+                    )
+                    self.traces.record(f"{node.name}.power", t, node.wall_power)
+                    self.traces.record(f"{node.name}.util", t, node.core.utilization)
+                    for governor in self._governors[node.name]:
+                        governor.on_sample(t, temp)
 
         self.engine.every(self.config.node.sensor_period, sample_and_record)
 
@@ -236,6 +250,60 @@ class Cluster:
         for node in self.nodes:
             for governor in self._governors[node.name]:
                 governor.start(self.engine.clock.now)
+
+    def _compile_sampler(self, sensor_rounds, sensor_samples, n_nodes: float):
+        """Fastpath sensor task: pre-resolved handles, block-buffered traces.
+
+        Creates the standard per-node traces up front (same insertion
+        order as the reference path's first sampling round) and binds
+        one :class:`~repro.fastpath.recording.TraceBlockWriter` pair of
+        appenders per trace, so the per-sample cost is list appends
+        instead of f-string keys, dict lookups and numpy scalar writes.
+        Sample values are read from the same state the reference
+        properties expose.
+        """
+        from ..fastpath.recording import TraceBlockWriter
+
+        plans = []
+        for node in self.nodes:
+            writers = [
+                TraceBlockWriter(self.traces.trace(f"{node.name}.{suffix}"))
+                for suffix in ("temp", "duty", "rpm", "freq_ghz", "power", "util")
+            ]
+            self._writers.extend(writers)
+            plans.append(
+                (
+                    node,
+                    node.sensor.sample,
+                    node.fan_motor,
+                    node.dvfs,
+                    node.core,
+                    tuple(w.add for w in writers),
+                    tuple(self._governors[node.name]),
+                )
+            )
+        plans = tuple(plans)
+
+        def sample_and_record(t: float) -> None:
+            sensor_rounds.inc()
+            sensor_samples.inc(n_nodes)
+            for node, sample, motor, dvfs, core, recs, governors in plans:
+                temp = sample(t)
+                recs[0](t, temp)
+                recs[1](t, motor._duty)
+                recs[2](t, motor._rpm)
+                recs[3](t, dvfs.pstate.frequency_ghz)
+                recs[4](t, node._wall_power)
+                recs[5](t, core._utilization)
+                for governor in governors:
+                    governor.on_sample(t, temp)
+
+        return sample_and_record
+
+    def _flush_traces(self) -> None:
+        """Flush any fastpath block writers into their traces."""
+        for writer in self._writers:
+            writer.flush()
 
     def run_job(
         self,
@@ -263,10 +331,13 @@ class Cluster:
             node.meter.reset()
         t0 = self.engine.clock.now
 
-        self.engine.run(
-            until=lambda: job.finished,
-            max_ticks=self.engine.clock.ticks_for(timeout),
-        )
+        try:
+            self.engine.run(
+                until=lambda: job.finished,
+                max_ticks=self.engine.clock.ticks_for(timeout),
+            )
+        finally:
+            self._flush_traces()
         if not job.finished:
             raise SimulationError(
                 f"job {job.name!r} did not finish within {timeout}s of "
@@ -274,7 +345,10 @@ class Cluster:
             )
         execution_time = self.engine.clock.now - t0
         if tail > 0:
-            self.engine.run(duration=tail)
+            try:
+                self.engine.run(duration=tail)
+            finally:
+                self._flush_traces()
 
         if self.telemetry.enabled:
             self.telemetry.gauge("sim.execution_seconds", job=job.name).set(
@@ -301,4 +375,7 @@ class Cluster:
     def run_for(self, duration: float) -> None:
         """Advance the cluster with whatever is bound for ``duration`` s."""
         self._wire_tasks()
-        self.engine.run(duration=duration)
+        try:
+            self.engine.run(duration=duration)
+        finally:
+            self._flush_traces()

@@ -1,0 +1,43 @@
+"""The step compiler: a fused, cache-friendly inner loop for the engine.
+
+Every experiment funnels through the same per-tick hot loop — component
+dispatch, RC re-assembly, per-sample trace writes.  This package
+compiles that loop structurally at engine start instead of interpreting
+it tick by tick:
+
+* :mod:`repro.fastpath.rc` flattens an :class:`~repro.thermal.rc.RCNetwork`
+  into parallel arrays with coefficient caching keyed on link-resistance
+  writes, so the common case (only the convective link moved) refreshes
+  two matrix rows instead of re-walking the graph.
+* :mod:`repro.fastpath.node` fuses one :class:`~repro.cluster.node.Node`'s
+  per-tick sequence into a single closure over pre-bound sub-models.
+* :mod:`repro.fastpath.loop` batches physics microticks between task
+  boundaries — tasks fire at ≥ 1 s periods while physics runs at
+  dt = 0.05 s, so up to 20 ticks run back to back with no task scan.
+* :mod:`repro.fastpath.recording` buffers trace samples and flushes
+  them through :meth:`~repro.sim.trace.Trace.extend`.
+
+The contract is **byte-identical equivalence**: the compiled loop
+performs the same IEEE-754 operations in the same order as the
+reference engine, so traces, events and telemetry match bit for bit
+(enforced by ``tests/test_fastpath_equivalence.py`` and CI).  Opt in
+via ``SimulationEngine(fastpath=True)``, ``RunSpec(fastpath=True)`` or
+``repro run --fastpath``.
+
+:mod:`~repro.fastpath.loop` and :mod:`~repro.fastpath.node` are
+imported lazily (by ``SimulationEngine.run``) because they reach back
+into :mod:`repro.cluster`; import them by submodule path.
+"""
+
+from __future__ import annotations
+
+from .marker import hotpath
+from .rc import CompiledRC, compile_network
+from .recording import TraceBlockWriter
+
+__all__ = [
+    "CompiledRC",
+    "TraceBlockWriter",
+    "compile_network",
+    "hotpath",
+]

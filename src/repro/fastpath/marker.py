@@ -1,0 +1,24 @@
+"""The ``@hotpath`` marker for per-tick code.
+
+Functions under :mod:`repro.fastpath` that run every physics tick are
+decorated with :func:`hotpath`.  The decorator is behaviourally inert —
+it only tags the function — but it carries a lint contract: RPR009
+(``hotpath-allocation``) rejects per-tick allocation patterns (dict /
+list / set / str construction, f-strings, nested function definitions)
+inside marked functions, keeping the compiled inner loop allocation
+free.  Cold error paths belong in un-marked helper functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hotpath"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hotpath(fn: _F) -> _F:
+    """Mark ``fn`` as per-tick hot-loop code (see module docstring)."""
+    fn.__hotpath__ = True
+    return fn

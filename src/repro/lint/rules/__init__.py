@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Type
 
 from ..base import Rule
+from .allocation import HotpathAllocationRule
 from .determinism import DeterminismRule
 from .exports import ExportsRule
 from .governor_purity import GovernorPurityRule
@@ -32,6 +33,7 @@ __all__ = [
     "ReproducibilityRule",
     "RuntimeBoundaryRule",
     "TelemetryClockRule",
+    "HotpathAllocationRule",
 ]
 
 #: Ordered rule plugin table (report order follows registration order).
@@ -44,6 +46,7 @@ ALL_RULES: List[Type[Rule]] = [
     ReproducibilityRule,
     RuntimeBoundaryRule,
     TelemetryClockRule,
+    HotpathAllocationRule,
 ]
 
 #: Code → rule class lookup.

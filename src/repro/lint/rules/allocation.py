@@ -1,0 +1,114 @@
+"""RPR009 — no per-tick allocation inside ``@hotpath`` functions.
+
+The :mod:`repro.fastpath` step compiler exists to make the per-tick
+inner loop cheap; its contract (``docs/performance.md``) is that the
+compiled step functions do no avoidable allocation.  Everything a step
+needs — buffers, handles, label strings — is built once at compile
+time and closed over, so the tick path is attribute loads, arithmetic
+and pre-bound calls.
+
+A ``dict``/``list``/``set``/``str`` construction, a comprehension, an
+f-string or a nested function definition inside a tick function
+allocates on **every physics tick** (tens of thousands of times per
+run), and such regressions are invisible to the equivalence suite —
+the results stay byte-identical while the speedup quietly erodes.
+Fastpath code marks its tick functions with
+:func:`repro.fastpath.marker.hotpath`; this rule flags allocating
+constructs inside any function so marked, within any ``fastpath/``
+directory.
+
+Cold paths reachable from hot code (error raises, flushes) belong in
+plain helper functions — see ``_raise_diverged`` in
+:mod:`repro.fastpath.rc` for the idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from ..base import Finding, Rule, RuleContext, dotted_name
+
+__all__ = ["HotpathAllocationRule"]
+
+#: Builtin constructors whose call in a hot function is an allocation.
+_ALLOCATING_CALLS = frozenset({"dict", "list", "set", "str"})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_hotpath_decorator(node: ast.expr) -> bool:
+    """True for ``@hotpath`` / ``@marker.hotpath`` style decorators."""
+    name = dotted_name(node)
+    return name == "hotpath" or name.endswith(".hotpath")
+
+
+class HotpathAllocationRule(Rule):
+    """``@hotpath`` functions must not allocate per call."""
+
+    code = "RPR009"
+    name = "hotpath-allocation"
+    description = (
+        "fastpath/ functions marked @hotpath must not build dicts, "
+        "lists, sets, strings, f-strings, comprehensions or closures "
+        "per tick (hoist them to compile time)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("fastpath"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(_is_hotpath_decorator(d) for d in node.decorator_list):
+                    yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: RuleContext, func: _FunctionNode
+    ) -> Iterator[Finding]:
+        where = f"in @hotpath function {func.name!r}"
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Dict, ast.DictComp)):
+                    yield self.finding(
+                        ctx, node, f"dict built per tick {where}"
+                    )
+                elif isinstance(node, (ast.List, ast.ListComp)):
+                    yield self.finding(
+                        ctx, node, f"list built per tick {where}"
+                    )
+                elif isinstance(node, (ast.Set, ast.SetComp)):
+                    yield self.finding(
+                        ctx, node, f"set built per tick {where}"
+                    )
+                elif isinstance(node, ast.GeneratorExp):
+                    yield self.finding(
+                        ctx, node, f"generator built per tick {where}"
+                    )
+                elif isinstance(node, ast.JoinedStr):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"f-string built per tick {where} (cold "
+                        "messages belong in a plain helper function)",
+                    )
+                elif isinstance(node, ast.Call):
+                    callee = dotted_name(node.func)
+                    if callee in _ALLOCATING_CALLS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{callee}() allocation per tick {where}",
+                        )
+                elif isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    label = (
+                        "lambda"
+                        if isinstance(node, ast.Lambda)
+                        else f"nested function {node.name!r}"
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{label} creates a closure per tick {where}",
+                    )

@@ -56,6 +56,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
         ClusterConfig(n_nodes=spec.n_nodes, seed=spec.seed),
         ambient_factory=ambient_factory,
         telemetry=MetricsRegistry() if spec.telemetry else None,
+        fastpath=spec.fastpath,
     )
     for rig in spec.rigs:
         attach = _resolve(registries.RIG_REGISTRY, "rig", rig.name)

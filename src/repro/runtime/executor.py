@@ -78,13 +78,22 @@ class ExecutorStats:
     the same under ``jobs=1`` and ``jobs=N``.
     """
 
-    __slots__ = ("_executed", "_cache_hits", "_cache_misses", "_deduplicated")
+    __slots__ = (
+        "_executed",
+        "_cache_hits",
+        "_cache_misses",
+        "_deduplicated",
+        "_jobs_requested",
+        "_jobs_effective",
+    )
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self._executed = registry.counter("host.exec.executed")
         self._cache_hits = registry.counter("host.cache.hits")
         self._cache_misses = registry.counter("host.cache.misses")
         self._deduplicated = registry.counter("host.exec.deduplicated")
+        self._jobs_requested = registry.gauge("host.exec.jobs_requested")
+        self._jobs_effective = registry.gauge("host.exec.jobs_effective")
 
     @property
     def executed(self) -> int:
@@ -106,6 +115,21 @@ class ExecutorStats:
         """Duplicate specs that reused an earlier position's result."""
         return int(self._deduplicated.value)
 
+    @property
+    def jobs_requested(self) -> int:
+        """Worker count the executor was configured with."""
+        return int(self._jobs_requested.value)
+
+    @property
+    def jobs_effective(self) -> int:
+        """Worker count after clamping to the machine's CPU count."""
+        return int(self._jobs_effective.value)
+
+    @property
+    def jobs_clamped(self) -> bool:
+        """Whether the requested fan-out exceeded the available CPUs."""
+        return self.jobs_effective < self.jobs_requested
+
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (for JSON reports)."""
         return {
@@ -113,6 +137,8 @@ class ExecutorStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "deduplicated": self.deduplicated,
+            "jobs_requested": self.jobs_requested,
+            "jobs_effective": self.jobs_effective,
         }
 
 
@@ -124,7 +150,12 @@ class RunExecutor:
     ----------
     jobs:
         Worker process count; ``1`` (default) runs serially in-process,
-        preserving the historical execution path exactly.
+        preserving the historical execution path exactly.  Requests
+        beyond ``os.cpu_count()`` are clamped — oversubscribing a small
+        machine costs pickling and scheduling overhead without any
+        parallelism to pay for it — and a clamp down to one worker
+        falls back to the serial path entirely.  The requested and
+        effective counts are surfaced through :class:`ExecutorStats`.
     cache_dir:
         Directory for the content-addressed result cache; ``None``
         (default) disables caching.  Created on first write.
@@ -138,6 +169,12 @@ class RunExecutor:
         snapshots are folded into the executor registry under a
         ``run=<digest>`` label, and the ``(spec, result)`` pairs are
         kept in :attr:`collected` for the exporters.
+    fastpath:
+        When True, every mapped spec runs through the
+        :mod:`repro.fastpath` step compiler
+        (``dataclasses.replace(spec, fastpath=True)``).  Results are
+        byte-identical to the reference path, but the flag changes the
+        digest, so fastpath runs keep their own cache entries.
     registry:
         The host-side metrics registry.  Supplied automatically; pass
         one explicitly to share a registry across executors.
@@ -147,10 +184,12 @@ class RunExecutor:
     cache_dir: Optional[Union[str, Path]] = None
     cache_version: Optional[str] = None
     telemetry: bool = False
+    fastpath: bool = False
     registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs))
+        self.effective_jobs = min(self.jobs, os.cpu_count() or 1)
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
         if self.cache_version is None:
@@ -160,6 +199,8 @@ class RunExecutor:
         if self.registry is None:
             self.registry = MetricsRegistry()
         self.stats = ExecutorStats(self.registry)
+        self.stats._jobs_requested.set(float(self.jobs))
+        self.stats._jobs_effective.set(float(self.effective_jobs))
         #: ``(spec, result)`` pairs accumulated across map() calls when
         #: ``telemetry=True`` (primary specs only; duplicates collapse).
         self.collected: List[Tuple[RunSpec, RunResult]] = []
@@ -184,6 +225,11 @@ class RunExecutor:
         if self.telemetry:
             specs = [
                 s if s.telemetry else dataclasses.replace(s, telemetry=True)
+                for s in specs
+            ]
+        if self.fastpath:
+            specs = [
+                s if s.fastpath else dataclasses.replace(s, fastpath=True)
                 for s in specs
             ]
         results: List[Optional[RunResult]] = [None] * len(specs)
@@ -237,12 +283,10 @@ class RunExecutor:
         self, specs: List[RunSpec]
     ) -> List[Tuple[RunResult, float]]:
         """Run specs serially or across the process pool."""
-        self.registry.gauge("host.exec.workers").set(
-            float(min(self.jobs, len(specs)))
-        )
-        if self.jobs == 1 or len(specs) == 1:
+        workers = min(self.effective_jobs, len(specs))
+        self.registry.gauge("host.exec.workers").set(float(workers))
+        if workers <= 1:
             return [timed_execute_spec(spec) for spec in specs]
-        workers = min(self.jobs, len(specs))
         self.registry.counter("host.exec.pool_batches").inc()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(timed_execute_spec, specs))

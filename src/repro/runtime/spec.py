@@ -156,6 +156,12 @@ class RunSpec:
         share cache entries — even though the *simulated physics* are
         identical (telemetry is observation-only, which the tests
         assert).
+    fastpath:
+        Run through the :mod:`repro.fastpath` step compiler instead of
+        the reference engine loop.  The compiled loop is byte-identical
+        to the reference (the equivalence suite enforces it), but the
+        flag is still part of the spec — and hence the digest — so a
+        cache can never silently mix the two execution paths.
     """
 
     workload: str
@@ -169,6 +175,7 @@ class RunSpec:
     tail: float = 0.0
     quick: bool = False
     telemetry: bool = False
+    fastpath: bool = False
 
     @classmethod
     def of(
@@ -185,6 +192,7 @@ class RunSpec:
         tail: float = 0.0,
         quick: bool = False,
         telemetry: bool = False,
+        fastpath: bool = False,
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts for all parameters."""
         return cls(
@@ -199,6 +207,7 @@ class RunSpec:
             tail=tail,
             quick=quick,
             telemetry=telemetry,
+            fastpath=fastpath,
         )
 
     def canonical(self) -> str:

@@ -62,6 +62,15 @@ class SimulationEngine:
         Optional shared :class:`TraceSet`; created if omitted.
     events:
         Optional shared :class:`EventLog`; created if omitted.
+    fastpath:
+        When True, :meth:`run` executes through the
+        :mod:`repro.fastpath` step compiler: components are fused into
+        pre-bound step callables and physics microticks are batched
+        between periodic-task boundaries.  The compiled loop is
+        byte-identical to the reference loop (same floating-point
+        operations in the same order); it is opt-in because it relies
+        on the structural compiler recognising the registered
+        components.
     """
 
     def __init__(
@@ -69,10 +78,12 @@ class SimulationEngine:
         dt: float = 0.05,
         traces: Optional[TraceSet] = None,
         events: Optional[EventLog] = None,
+        fastpath: bool = False,
     ) -> None:
         self.clock = SimClock(dt)
         self.traces = traces if traces is not None else TraceSet()
         self.events = events if events is not None else EventLog()
+        self.fastpath = bool(fastpath)
         self._components: List[Component] = []
         self._tasks: List[PeriodicTask] = []
         self._running = False
@@ -178,22 +189,29 @@ class SimulationEngine:
         self._stop_requested = False
         ticks_done = 0
         try:
-            while True:
-                if deadline_tick is not None and self.clock.ticks >= deadline_tick:
-                    break
-                if budget is not None and ticks_done >= budget:
-                    if deadline_tick is not None or until is not None:
-                        raise SimulationError(
-                            f"max_ticks={budget} exhausted before the stop "
-                            "condition was reached"
-                        )
-                    break
-                self.step()
-                ticks_done += 1
-                if self._stop_requested:
-                    break
-                if until is not None and until():
-                    break
+            if self.fastpath:
+                # Deferred import: the step compiler reaches back into
+                # repro.cluster for the fused node step.
+                from ..fastpath.loop import run_fused
+
+                run_fused(self, deadline_tick, budget, until)
+            else:
+                while True:
+                    if deadline_tick is not None and self.clock.ticks >= deadline_tick:
+                        break
+                    if budget is not None and ticks_done >= budget:
+                        if deadline_tick is not None or until is not None:
+                            raise SimulationError(
+                                f"max_ticks={budget} exhausted before the stop "
+                                "condition was reached"
+                            )
+                        break
+                    self.step()
+                    ticks_done += 1
+                    if self._stop_requested:
+                        break
+                    if until is not None and until():
+                        break
         finally:
             self._running = False
         return self.clock.now

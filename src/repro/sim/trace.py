@@ -31,7 +31,7 @@ class Trace:
         Identifier used in trace sets and rendered tables.
     """
 
-    __slots__ = ("name", "_t", "_v", "_n")
+    __slots__ = ("name", "_t", "_v", "_n", "_last_t")
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -40,6 +40,9 @@ class Trace:
         self._t = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._v = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._n = 0
+        # Kept as a plain Python float so the per-append monotonicity
+        # check never round-trips through a numpy scalar.
+        self._last_t = float("-inf")
 
     def __len__(self) -> int:
         return self._n
@@ -51,16 +54,57 @@ class Trace:
         against the previous sample.
         """
         n = self._n
-        if n and t < self._t[n - 1]:
+        if t < self._last_t:
             raise ConfigurationError(
                 f"trace {self.name!r}: time went backwards "
-                f"({t} < {self._t[n - 1]})"
+                f"({t} < {self._last_t})"
             )
         if n == self._t.shape[0]:
             self._grow()
         self._t[n] = t
         self._v[n] = value
         self._n = n + 1
+        self._last_t = float(t)
+
+    def extend(self, t_block: "np.ndarray", v_block: "np.ndarray") -> None:
+        """Append a whole block of samples in one call.
+
+        Equivalent to ``append``-ing each pair in order — including the
+        monotonicity contract — but with one bounds check and two
+        vectorized copies instead of per-sample numpy scalar writes.
+        This is the API the fastpath recording layer uses to flush its
+        sample buffers.
+        """
+        t_arr = np.asarray(t_block, dtype=np.float64)
+        v_arr = np.asarray(v_block, dtype=np.float64)
+        if t_arr.ndim != 1 or v_arr.ndim != 1 or t_arr.shape != v_arr.shape:
+            raise ConfigurationError(
+                f"trace {self.name!r}: extend needs two 1-d blocks of "
+                f"equal length, got shapes {t_arr.shape} and {v_arr.shape}"
+            )
+        k = int(t_arr.shape[0])
+        if k == 0:
+            return
+        first = float(t_arr[0])
+        if first < self._last_t:
+            raise ConfigurationError(
+                f"trace {self.name!r}: time went backwards "
+                f"({first} < {self._last_t})"
+            )
+        if k > 1:
+            steps = np.diff(t_arr)
+            if np.any(steps < 0.0):
+                at = int(np.argmax(steps < 0.0))
+                raise ConfigurationError(
+                    f"trace {self.name!r}: time went backwards "
+                    f"({float(t_arr[at + 1])} < {float(t_arr[at])})"
+                )
+        n = self._n
+        self._reserve(n + k)
+        self._t[n : n + k] = t_arr
+        self._v[n : n + k] = v_arr
+        self._n = n + k
+        self._last_t = float(t_arr[-1])
 
     def __getstate__(self) -> Tuple[str, np.ndarray, np.ndarray]:
         """Pickle only the live prefix of the buffers.
@@ -78,9 +122,19 @@ class Trace:
         self._t = np.ascontiguousarray(t, dtype=np.float64)
         self._v = np.ascontiguousarray(v, dtype=np.float64)
         self._n = int(self._t.shape[0])
+        self._last_t = float(self._t[-1]) if self._n else float("-inf")
 
     def _grow(self) -> None:
-        new_cap = max(self._t.shape[0] * 2, _INITIAL_CAPACITY)
+        self._reserve(max(self._t.shape[0] * 2, _INITIAL_CAPACITY))
+
+    def _reserve(self, min_capacity: int) -> None:
+        """Ensure the buffers can hold at least ``min_capacity`` samples."""
+        cap = self._t.shape[0]
+        if cap >= min_capacity:
+            return
+        new_cap = max(cap, _INITIAL_CAPACITY)
+        while new_cap < min_capacity:
+            new_cap *= 2
         t = np.empty(new_cap, dtype=np.float64)
         v = np.empty(new_cap, dtype=np.float64)
         t[: self._n] = self._t[: self._n]
@@ -197,13 +251,22 @@ class TraceSet:
     def __init__(self) -> None:
         self._traces: Dict[str, Trace] = {}
 
-    def record(self, name: str, t: float, value: float) -> None:
-        """Append to the trace called ``name``, creating it on first use."""
+    def trace(self, name: str) -> Trace:
+        """Get (or create empty) the trace called ``name``.
+
+        Lets recording code resolve the trace handle once instead of
+        paying the name lookup per sample — the fastpath recording
+        layer wires its block writers through this.
+        """
         trace = self._traces.get(name)
         if trace is None:
             trace = Trace(name)
             self._traces[name] = trace
-        trace.append(t, value)
+        return trace
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append to the trace called ``name``, creating it on first use."""
+        self.trace(name).append(t, value)
 
     def __getitem__(self, name: str) -> Trace:
         try:

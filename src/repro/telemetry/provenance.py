@@ -60,6 +60,10 @@ class ProvenanceRecorder:
         "_delta_l2",
         "_mode_changes",
         "_emergencies",
+        "_round_counters",
+        "_tdvfs_counters",
+        "_tdvfs_threshold",
+        "_tdvfs_index",
     )
 
     def __init__(
@@ -91,6 +95,16 @@ class ProvenanceRecorder:
         self._emergencies = self.registry.counter(
             "ctrl.emergencies", ctrl=name, technique=technique
         )
+        # Per-label-value instrument handles, memoized on first use so
+        # the round paths pay one dict hit instead of re-resolving a
+        # counter (label-tuple build + registry lookup) every round.
+        # Lazily filled — creating an instrument registers a zero-valued
+        # sample, so eager creation would invent metrics the run never
+        # touched.
+        self._round_counters: dict = {}
+        self._tdvfs_counters: dict = {}
+        self._tdvfs_threshold = None
+        self._tdvfs_index = None
 
     # -- unified-controller rounds ---------------------------------------
 
@@ -118,9 +132,12 @@ class ProvenanceRecorder:
         """
         if not self.enabled:
             return
-        self.registry.counter(
-            "ctrl.rounds", ctrl=self.name, technique=self.technique, via=via
-        ).inc()
+        counter = self._round_counters.get(via)
+        if counter is None:
+            counter = self._round_counters[via] = self.registry.counter(
+                "ctrl.rounds", ctrl=self.name, technique=self.technique, via=via
+            )
+        counter.inc()
         self._slot_gauge.set(float(target_slot))
         self._delta_l1.observe(delta_l1)
         if delta_l2 is not None:
@@ -183,15 +200,21 @@ class ProvenanceRecorder:
         """
         if not self.enabled:
             return
-        self.registry.counter(
-            "tdvfs.rounds", ctrl=self.name, action=action
-        ).inc()
-        self.registry.gauge("tdvfs.effective_threshold", ctrl=self.name).set(
-            effective_threshold
-        )
-        self.registry.gauge("tdvfs.pstate_index", ctrl=self.name).set(
-            float(index)
-        )
+        counter = self._tdvfs_counters.get(action)
+        if counter is None:
+            counter = self._tdvfs_counters[action] = self.registry.counter(
+                "tdvfs.rounds", ctrl=self.name, action=action
+            )
+        counter.inc()
+        if self._tdvfs_threshold is None:
+            self._tdvfs_threshold = self.registry.gauge(
+                "tdvfs.effective_threshold", ctrl=self.name
+            )
+            self._tdvfs_index = self.registry.gauge(
+                "tdvfs.pstate_index", ctrl=self.name
+            )
+        self._tdvfs_threshold.set(effective_threshold)
+        self._tdvfs_index.set(float(index))
         self._delta_l1.observe(delta_l1)
         if delta_l2 is not None:
             self._delta_l2.observe(delta_l2)

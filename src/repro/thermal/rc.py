@@ -78,7 +78,7 @@ class ThermalLink:
     (e.g. by a convection model reacting to fan speed).
     """
 
-    __slots__ = ("name", "a", "b", "_resistance")
+    __slots__ = ("name", "a", "b", "_resistance", "_observer", "_slot")
 
     def __init__(self, name: str, a: str, b: str, resistance: float) -> None:
         if a == b:
@@ -87,6 +87,10 @@ class ThermalLink:
         self.a = a
         self.b = b
         self._resistance = require_positive(resistance, f"resistance of {name!r}")
+        # Set by a compiled stepper (repro.fastpath) so resistance writes
+        # invalidate exactly the cached coefficient rows they touch.
+        self._observer = None
+        self._slot = -1
 
     @property
     def resistance(self) -> float:
@@ -96,6 +100,9 @@ class ThermalLink:
     @resistance.setter
     def resistance(self, value: float) -> None:
         self._resistance = require_positive(value, f"resistance of {self.name!r}")
+        observer = self._observer
+        if observer is not None:
+            observer.mark_link_dirty(self._slot)
 
     @property
     def conductance(self) -> float:
@@ -122,6 +129,9 @@ class RCNetwork:
         self._links: Dict[str, ThermalLink] = {}
         self._order: List[str] = []
         self._powers: Dict[str, float] = {}
+        # Compiled stepper attached by repro.fastpath; None means the
+        # reference (re-assemble every step) path below is used.
+        self._fast = None
 
     # -- construction ----------------------------------------------------
 
@@ -132,6 +142,7 @@ class RCNetwork:
         self._nodes[node.name] = node
         self._order.append(node.name)
         self._powers[node.name] = 0.0
+        self._invalidate_fast()
         return node
 
     def add_link(self, link: ThermalLink) -> ThermalLink:
@@ -144,7 +155,15 @@ class RCNetwork:
         if link.name in self._links:
             raise ConfigurationError(f"duplicate thermal link {link.name!r}")
         self._links[link.name] = link
+        self._invalidate_fast()
         return link
+
+    def _invalidate_fast(self) -> None:
+        """Drop any attached compiled stepper after a structural change."""
+        fast = self._fast
+        if fast is not None:
+            self._fast = None
+            fast.detach()
 
     def node(self, name: str) -> ThermalNode:
         """Look up a node by name."""
@@ -236,7 +255,14 @@ class RCNetwork:
         Uses forward Euler with automatic sub-stepping: the sub-step is
         chosen as half the stability limit ``min_i C_i / G_ii``, so the
         integration is stable for any (positive-resistance) network.
+
+        When a compiled stepper (repro.fastpath) is attached, it takes
+        over — its arithmetic is bit-identical to the loop below.
         """
+        fast = self._fast
+        if fast is not None:
+            fast.step(dt)
+            return
         require_positive(dt, "dt")
         free, G, b, C = self._assemble()
         if not free:

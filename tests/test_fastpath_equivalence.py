@@ -1,0 +1,280 @@
+"""The fastpath equivalence gate: compiled == reference, byte for byte.
+
+The step compiler (:mod:`repro.fastpath`) promises *exact* equivalence
+with the reference engine — the same IEEE-754 operations in the same
+order — so every comparison here is bitwise (``==`` on float arrays),
+never approximate:
+
+* randomized RC networks (mixed boundary/interior nodes, link
+  resistances mutated mid-run) stepped compiled vs. reference;
+* the fused run loop's control semantics (task fire counts, ``until``/
+  ``stop``/``max_ticks``) against ``SimulationEngine.step()``;
+* every registered experiment's quick-mode table;
+* every figure's regenerated series curves, compared by content hash;
+* the telemetry JSONL export, byte-identical per ``(spec, seed)`` —
+  only the run-header digest may differ, because the ``fastpath`` flag
+  is spec-level (deliberately: cache entries must not mix paths).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import REGISTRY
+from repro.experiments.series import SERIES_REGISTRY
+from repro.fastpath import compile_network
+from repro.runtime import RunExecutor, RunSpec
+from repro.sim.engine import Component, SimulationEngine
+from repro.thermal.rc import RCNetwork, ThermalLink, ThermalNode
+
+SEED = 7
+
+
+# ------------------------------------------------------- randomized RC nets
+
+
+def build_random_network(rng: random.Random) -> RCNetwork:
+    """A random connected RC network with boundary and interior nodes."""
+    net = RCNetwork()
+    n_interior = rng.randint(2, 6)
+    n_boundary = rng.randint(1, 2)
+    names = []
+    for i in range(n_interior):
+        name = f"m{i}"
+        net.add_node(
+            ThermalNode(name, rng.uniform(5.0, 400.0), rng.uniform(20.0, 80.0))
+        )
+        names.append(name)
+    for i in range(n_boundary):
+        name = f"b{i}"
+        net.add_node(ThermalNode(name, None, rng.uniform(15.0, 45.0)))
+        names.append(name)
+    # A spanning chain keeps the graph connected; extra random links add
+    # cycles and parallel paths.
+    for i in range(1, len(names)):
+        net.add_link(
+            ThermalLink(
+                f"chain{i}", names[i - 1], names[i], rng.uniform(0.05, 5.0)
+            )
+        )
+    for j in range(rng.randint(0, 4)):
+        a, b = rng.sample(names, 2)
+        net.add_link(
+            ThermalLink(f"extra{j}", a, b, rng.uniform(0.05, 5.0))
+        )
+    for name in names[: rng.randint(1, n_interior)]:
+        net.set_power(name, rng.uniform(0.0, 120.0))
+    return net
+
+
+@pytest.mark.parametrize("case_seed", range(12))
+def test_random_networks_step_identically(case_seed: int) -> None:
+    """Compiled and reference networks agree bitwise through mutations."""
+    reference = build_random_network(random.Random(case_seed))
+    compiled = build_random_network(random.Random(case_seed))
+    crc = compile_network(compiled)
+    assert compiled._fast is crc
+
+    rng = random.Random(1000 + case_seed)
+    link_names = list(reference._links)
+    dt = rng.choice([0.01, 0.05, 0.2])
+    for tick in range(60):
+        if rng.random() < 0.25:  # mutate a link mid-run (fan-style)
+            name = rng.choice(link_names)
+            r = rng.uniform(0.05, 5.0)
+            reference.link(name).resistance = r
+            compiled.link(name).resistance = r
+        if rng.random() < 0.1:  # external power change between ticks
+            node = rng.choice(reference.node_names)
+            if not reference.node(node).is_boundary:
+                p = rng.uniform(0.0, 150.0)
+                reference.set_power(node, p)
+                compiled.set_power(node, p)
+        reference.step(dt)
+        compiled.step(dt)
+        for name in reference.node_names:
+            assert compiled.temperature(name) == reference.temperature(
+                name
+            ), f"case {case_seed}, tick {tick}, node {name}"
+
+
+def test_structural_change_detaches_compiled_stepper() -> None:
+    net = build_random_network(random.Random(3))
+    crc = compile_network(net)
+    net.step(0.05)
+    net.add_node(ThermalNode("late", 50.0, 30.0))
+    assert net._fast is None  # invalidated, reference path resumes
+    net.add_link(ThermalLink("late_link", "late", "m0", 1.0))
+    net.step(0.05)  # runs (and re-validates) on the reference path
+    recompiled = compile_network(net)
+    assert recompiled is not crc
+    net.step(0.05)
+
+
+def test_dt_change_and_divergence_match_reference() -> None:
+    """n_sub revalidates per dt; divergence raises the reference error."""
+    reference = build_random_network(random.Random(5))
+    compiled = build_random_network(random.Random(5))
+    compile_network(compiled)
+    for dt in (0.05, 0.5, 0.05, 2.0):
+        reference.step(dt)
+        compiled.step(dt)
+        for name in reference.node_names:
+            assert compiled.temperature(name) == reference.temperature(name)
+
+
+# ------------------------------------------------------ fused loop semantics
+
+
+class Accumulator(Component):
+    """Counts steps; optionally stops its engine at a given tick."""
+
+    def __init__(self, name: str, engine=None, stop_at=None) -> None:
+        super().__init__(name)
+        self.calls = []
+        self._engine = engine
+        self._stop_at = stop_at
+
+    def step(self, t: float, dt: float) -> None:
+        self.calls.append(t)
+        if self._stop_at is not None and len(self.calls) == self._stop_at:
+            self._engine.stop()
+
+
+def engines_pair():
+    return SimulationEngine(dt=0.05), SimulationEngine(dt=0.05, fastpath=True)
+
+
+def test_fused_duration_run_matches_reference() -> None:
+    ref, fast = engines_pair()
+    results = []
+    for engine in (ref, fast):
+        comp = engine.add_component(Accumulator("a"))
+        fires = []
+        engine.every(1.0, fires.append)
+        engine.every(0.25, lambda t: None, phase=0.1)
+        engine.run(duration=3.0)
+        results.append((comp.calls, fires, engine.clock.ticks,
+                        [task.fire_count for task in engine._tasks]))
+    assert results[0] == results[1]
+
+
+def test_fused_until_and_second_run_continue_identically() -> None:
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        engine.run(until=lambda: len(comp.calls) >= 7, max_ticks=100)
+        assert len(comp.calls) == 7
+        engine.run(duration=0.5)  # continues from the stop tick
+        assert engine.clock.ticks == 17
+
+
+def test_fused_stop_request_mid_batch() -> None:
+    for engine in engines_pair():
+        comp = Accumulator("a", engine=engine, stop_at=5)
+        engine.add_component(comp)
+        engine.every(10.0, lambda t: None)  # far boundary: stop is mid-batch
+        engine.run(duration=100.0)
+        assert len(comp.calls) == 5
+        assert engine.clock.ticks == 5
+
+
+def test_fused_budget_exhaustion_raises_reference_error() -> None:
+    for engine in engines_pair():
+        engine.add_component(Accumulator("a"))
+        with pytest.raises(SimulationError, match="max_ticks=10 exhausted"):
+            engine.run(duration=5.0, max_ticks=10)
+        assert engine.clock.ticks == 10
+
+
+def test_fused_max_ticks_only_run() -> None:
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        engine.run(max_ticks=37)  # no deadline/until: budget stop is clean
+        assert len(comp.calls) == 37
+
+
+# ------------------------------------------------ experiment / series gates
+
+
+@pytest.fixture(scope="module")
+def executors():
+    return RunExecutor(jobs=1), RunExecutor(jobs=1, fastpath=True)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_quick_tables_match(name: str, executors) -> None:
+    """Every experiment renders the identical quick-mode table."""
+    reference, fastpath = executors
+    module, _ = REGISTRY[name]
+    ref_table = module.render(module.run(seed=SEED, quick=True, executor=reference))
+    fast_table = module.render(module.run(seed=SEED, quick=True, executor=fastpath))
+    assert fast_table == ref_table
+
+
+def _curve_hashes(curves) -> dict:
+    hashes = {}
+    for label, (times, values) in curves.items():
+        digest = hashlib.sha256()
+        digest.update(np.asarray(times, dtype=np.float64).tobytes())
+        digest.update(np.asarray(values, dtype=np.float64).tobytes())
+        hashes[label] = digest.hexdigest()
+    return hashes
+
+
+@pytest.mark.parametrize("figure", sorted(SERIES_REGISTRY))
+def test_series_curve_hashes_match(figure: str, executors) -> None:
+    """Every figure's raw curves hash identically under the fastpath."""
+    reference, fastpath = executors
+    make = SERIES_REGISTRY[figure]
+    ref_hashes = _curve_hashes(make(seed=SEED, quick=True, executor=reference))
+    fast_hashes = _curve_hashes(make(seed=SEED, quick=True, executor=fastpath))
+    assert fast_hashes == ref_hashes
+
+
+# -------------------------------------------------- telemetry JSONL bytes
+
+
+def _jsonl_lines_sans_digest(executor: RunExecutor) -> list:
+    from repro.telemetry import export_jsonl
+
+    lines = []
+    for line in export_jsonl(executor.collected).splitlines():
+        record = json.loads(line)
+        if record.get("kind") == "run":
+            # The digest names the spec, and the fastpath flag is
+            # spec-level by design; all data lines must match exactly.
+            del record["digest"]
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        lines.append(line)
+    return lines
+
+
+def test_telemetry_jsonl_byte_identical() -> None:
+    spec = RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": 30.0},
+        rigs=["dynamic_fan"],
+        n_nodes=2,
+        seed=SEED,
+        timeout=120.0,
+    )
+    reference = RunExecutor(telemetry=True)
+    fastpath = RunExecutor(telemetry=True, fastpath=True)
+    reference.map([spec])
+    fastpath.map([spec])
+    # The executor flipped the flag on, and a pre-flagged spec
+    # deduplicates against it rather than running twice.
+    assert fastpath.collected[0][0] == dataclasses.replace(
+        spec, telemetry=True, fastpath=True
+    )
+    ref_lines = _jsonl_lines_sans_digest(reference)
+    fast_lines = _jsonl_lines_sans_digest(fastpath)
+    assert len(ref_lines) > 1
+    assert ref_lines == fast_lines

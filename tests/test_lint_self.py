@@ -32,6 +32,7 @@ BAD_FIXTURES = {
     "experiments/rpr006_run.py": "RPR006",
     "experiments/rpr007_direct_run.py": "RPR007",
     "telemetry/rpr008_wallclock.py": "RPR008",
+    "fastpath/rpr009_allocation.py": "RPR009",
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")

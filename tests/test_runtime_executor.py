@@ -9,6 +9,8 @@ trace sets, events and per-node summaries field by field.
 
 from __future__ import annotations
 
+import os
+
 from repro.cluster.cluster import RunResult
 from repro.runtime import RunExecutor, RunSpec
 
@@ -85,6 +87,8 @@ def test_stats_track_cache_across_maps(tmp_path) -> None:
         "cache_hits": 0,
         "cache_misses": 2,
         "deduplicated": 0,
+        "jobs_requested": 1,
+        "jobs_effective": 1,
     }
     executor.map(specs)
     assert executor.stats.cache_hits == 2
@@ -97,6 +101,52 @@ def test_cached_result_matches_fresh(tmp_path) -> None:
     warm = RunExecutor(cache_dir=tmp_path, cache_version="v1")
     warm.run(spec)  # populate
     assert_results_equal(warm.run(spec), fresh)
+
+
+# ------------------------------------------------------------- jobs clamp
+
+
+def _core_stats(executor: RunExecutor) -> dict:
+    """Executor stats minus the configuration-dependent jobs gauges."""
+    stats = executor.stats.as_dict()
+    del stats["jobs_requested"], stats["jobs_effective"]
+    return stats
+
+
+def test_jobs_clamped_to_cpu_count() -> None:
+    """Requesting more workers than CPUs clamps the effective fan-out."""
+    cpus = os.cpu_count() or 1
+    executor = RunExecutor(jobs=cpus + 4)
+    assert executor.effective_jobs == cpus
+    assert executor.stats.jobs_requested == cpus + 4
+    assert executor.stats.jobs_effective == cpus
+    assert executor.stats.jobs_clamped is True
+
+
+def test_jobs_within_cpu_count_not_clamped() -> None:
+    executor = RunExecutor(jobs=1)
+    assert executor.effective_jobs == 1
+    assert executor.stats.jobs_clamped is False
+
+
+def test_clamped_serial_fallback_matches_serial(monkeypatch) -> None:
+    """jobs=4 on a 1-CPU host falls back to the serial path exactly.
+
+    The regression this pins: the pool used to spawn 4 workers on one
+    CPU (speedup 0.834 — pure overhead).  With the clamp, the executor
+    must take the in-process serial path and produce identical results.
+    """
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    specs = specs_pair()
+    clamped = RunExecutor(jobs=4)
+    assert clamped.effective_jobs == 1
+    assert clamped.stats.jobs_clamped is True
+    serial_results = RunExecutor(jobs=1).map(specs)
+    clamped_results = clamped.map(specs)
+    for s, c in zip(serial_results, clamped_results):
+        assert_results_equal(s, c)
+    # The serial fallback never opened a pool.
+    assert clamped.telemetry_snapshot().value("host.exec.pool_batches") == 0.0
 
 
 # ---------------------------------------------------------------- telemetry
@@ -115,8 +165,8 @@ def test_telemetry_stats_identical_serial_vs_parallel() -> None:
         "cache_misses": 0,
         "deduplicated": 0,
     }
-    assert serial.stats.as_dict() == expected
-    assert parallel.stats.as_dict() == expected
+    assert _core_stats(serial) == expected
+    assert _core_stats(parallel) == expected
     for s, p in zip(serial_results, parallel_results):
         assert s.telemetry is not None, "snapshot must survive the pool"
         assert s.telemetry == p.telemetry
@@ -133,7 +183,7 @@ def test_telemetry_stats_with_cache_match_serial(tmp_path) -> None:
     for executor in (serial, parallel):
         executor.map(specs)
         executor.map(specs)
-    assert serial.stats.as_dict() == parallel.stats.as_dict() == {
+    assert _core_stats(serial) == _core_stats(parallel) == {
         "executed": 2,
         "cache_hits": 2,
         "cache_misses": 2,
