@@ -24,6 +24,8 @@ module                                 reproduces
 =====================================  =========================================
 """
 
+from types import MappingProxyType
+
 from . import (
     ablation,
     emergency,
@@ -59,8 +61,10 @@ __all__ = [
     "REGISTRY",
 ]
 
-#: Registry used by the CLI: name → (module, description).
-REGISTRY = {
+#: Registry used by the CLI: name → (module, description).  Frozen
+#: (RPR013): worker processes re-import this module, so any mutation
+#: in the parent would silently diverge from what workers see.
+REGISTRY = MappingProxyType({
     "fig2": (fig02_thermal_types, "thermal behaviour taxonomy (Figure 2)"),
     "fig5": (fig05_fan_pp, "dynamic fan control, P_p sweep (Figure 5)"),
     "fig6": (fig06_fan_comparison, "fan policy comparison (Figure 6)"),
@@ -74,4 +78,4 @@ REGISTRY = {
     "emergency": (emergency, "fan-failure / thermal-emergency avoidance"),
     "suite": (workload_suite, "thermal signatures across the NPB suite"),
     "robustness": (robustness, "Table 1 claims across independent seeds"),
-}
+})

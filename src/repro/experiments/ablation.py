@@ -151,7 +151,7 @@ class AblationResult:
     split_rows: List[SplitPolicyRow]
 
 
-_WINDOW_SIZES = [2, 4, 8, 16]
+_WINDOW_SIZES = (2, 4, 8, 16)
 _L2_MODES = (True, False)
 _ESCALATION_MODES = (True, False)
 _SPLITS = ((50, 50), (25, 75), (75, 25))

@@ -17,7 +17,8 @@ determinism contract.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from types import MappingProxyType
+from typing import Callable, List, Mapping, Optional
 
 from ..cluster.cluster import Cluster
 from ..config import ClusterConfig
@@ -235,7 +236,7 @@ def _rig_hybrid(
 
 
 #: Rig name → ``f(cluster, **params)`` governor rigging.
-RIG_REGISTRY: Dict[str, Callable[..., object]] = {
+RIG_REGISTRY: Mapping[str, Callable[..., object]] = MappingProxyType({
     "dynamic_fan": attach_dynamic_fan,
     "traditional_fan": attach_traditional_fan,
     "constant_fan": attach_constant_fan,
@@ -243,7 +244,7 @@ RIG_REGISTRY: Dict[str, Callable[..., object]] = {
     "cpuspeed": _rig_cpuspeed,
     "ondemand": attach_ondemand,
     "hybrid": _rig_hybrid,
-}
+})
 
 
 def _wl_npb(builder: Callable[..., object]) -> Callable[..., object]:
@@ -316,7 +317,7 @@ def _wl_bt_long(cluster: Cluster, horizon: float) -> object:
 
 
 #: Workload name → ``f(cluster, **params) -> Job``.
-WORKLOAD_REGISTRY: Dict[str, Callable[..., object]] = {
+WORKLOAD_REGISTRY: Mapping[str, Callable[..., object]] = MappingProxyType({
     "bt_b_4": _wl_npb(bt_b_4),
     "lu_a_4": _wl_npb(lu_a_4),
     "cg_b_4": _wl_npb(cg_b_4),
@@ -329,7 +330,7 @@ WORKLOAD_REGISTRY: Dict[str, Callable[..., object]] = {
     "jitter_profile": _wl_jitter_profile,
     "bt_weak": _wl_bt_weak,
     "bt_long": _wl_bt_long,
-}
+})
 
 
 def _ambient_rack_gradient(
@@ -345,6 +346,6 @@ def _ambient_rack_gradient(
 
 
 #: Ambient name → ``f(n_nodes, **params) -> (node_index -> AmbientModel)``.
-AMBIENT_REGISTRY: Dict[str, Callable[..., Callable[[int], object]]] = {
+AMBIENT_REGISTRY: Mapping[str, Callable[..., Callable[[int], object]]] = MappingProxyType({
     "rack_gradient": _ambient_rack_gradient,
-}
+})

@@ -25,6 +25,7 @@ behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import List, Optional
 
 from ..analysis.rows import lookup_row
@@ -43,13 +44,14 @@ __all__ = [
 
 MAX_DUTY = 0.50
 
-#: Workload registry keys and full/quick iteration counts.
-WORKLOADS = {
+#: Workload registry keys and full/quick iteration counts (frozen
+#: per RPR013: worker-visible module state must be immutable).
+WORKLOADS = MappingProxyType({
     "EP.B.4": ("ep_b_4", 28, 6),
     "BT.B.4": ("bt_b_4", 200, 50),
     "MG.B.4": ("mg_b_4", 420, 110),
     "CG.B.4": ("cg_b_4", 260, 70),
-}
+})
 
 
 @dataclass

@@ -31,13 +31,14 @@ into :mod:`repro.cluster`; import them by submodule path.
 
 from __future__ import annotations
 
-from .marker import hotpath
+from .marker import coldpath, hotpath
 from .rc import CompiledRC, compile_network
 from .recording import TraceBlockWriter
 
 __all__ = [
     "CompiledRC",
     "TraceBlockWriter",
+    "coldpath",
     "compile_network",
     "hotpath",
 ]

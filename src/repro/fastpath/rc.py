@@ -41,7 +41,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..thermal.rc import RCNetwork
 from ..units import require_positive
-from .marker import hotpath
+from .marker import coldpath, hotpath
 
 __all__ = ["CompiledRC", "compile_network"]
 
@@ -154,8 +154,14 @@ class CompiledRC:
 
     # -- coefficient refresh ----------------------------------------------
 
+    @coldpath
     def _refresh(self, dt: float) -> None:
-        """Recompute invalidated conductance rows and the sub-step cache."""
+        """Recompute invalidated conductance rows and the sub-step cache.
+
+        Runs only when ``dt`` changes or a resistance write dirtied a
+        link — not per tick — hence ``@coldpath``: RPR010 stops hot
+        reachability here and the row-rebuild allocations stay legal.
+        """
         require_positive(dt, "dt")
         m = self._m
         links = self._links

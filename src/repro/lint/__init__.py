@@ -29,27 +29,41 @@ in ``pyproject.toml``; silence single lines with
 
 from __future__ import annotations
 
-from .base import Finding, Rule, RuleContext
+from .base import Finding, GraphRule, Rule, RuleContext
+from .cache import FileAnalysis, LintCache, cache_key
 from .cli import main
 from .config import LintConfig, find_pyproject, load_config
-from .engine import PARSE_ERROR_CODE, iter_python_files, lint_file, lint_paths
+from .engine import (
+    PARSE_ERROR_CODE,
+    analyze_paths,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
 from .rules import ALL_RULES, RULES_BY_CODE, make_rules
+from .sarif import render_sarif
 from .suppressions import Suppressions, scan_suppressions
 
 __all__ = [
     "Finding",
     "Rule",
+    "GraphRule",
     "RuleContext",
     "LintConfig",
     "find_pyproject",
     "load_config",
     "lint_file",
     "lint_paths",
+    "analyze_paths",
     "iter_python_files",
     "PARSE_ERROR_CODE",
     "ALL_RULES",
     "RULES_BY_CODE",
     "make_rules",
+    "FileAnalysis",
+    "LintCache",
+    "cache_key",
+    "render_sarif",
     "Suppressions",
     "scan_suppressions",
     "main",

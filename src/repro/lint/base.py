@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, List, Tuple
 
 __all__ = [
     "Finding",
+    "GraphRule",
     "Rule",
     "RuleContext",
     "CODE_PATTERN",
@@ -124,6 +125,37 @@ class Rule:
     def run(self, ctx: RuleContext) -> List[Finding]:
         """Materialise :meth:`check` into a list (engine convenience)."""
         return list(self.check(ctx))
+
+
+class GraphRule(Rule):
+    """A rule that needs the whole program, not one module.
+
+    Graph rules run after every file has been summarised: the engine
+    builds one :class:`~repro.lint.graph.program.ProgramGraph` per run
+    and calls :meth:`check_program` instead of :meth:`check`.  Findings
+    still anchor to a concrete file/line, so per-file ignores and inline
+    suppressions apply exactly as they do for per-file rules.
+    """
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Graph rules have no per-file pass."""
+        return iter(())
+
+    def check_program(self, graph: "object") -> Iterator[Finding]:
+        """Yield findings over a ``ProgramGraph`` (subclass responsibility)."""
+        raise NotImplementedError
+
+    def run_program(self, graph: "object") -> List[Finding]:
+        """Materialise :meth:`check_program` (engine convenience)."""
+        return list(self.check_program(graph))
+
+    def graph_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` from raw coordinates."""
+        return Finding(
+            path=path, line=line, col=col, code=self.code, message=message
+        )
 
 
 def dotted_name(node: ast.AST) -> str:

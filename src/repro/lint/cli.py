@@ -6,8 +6,16 @@ Usage::
     repro-lint --list-rules
     repro-lint --select RPR001,RPR004 src/repro
     repro-lint --no-config tests/lint_fixtures/rpr001_determinism.py
+    repro-lint --format sarif src/repro > lint.sarif
+    repro-lint --graph dot src/repro | dot -Tsvg > imports.svg
+    repro-lint --jobs 4 src/repro
 
 Exit status: 0 — clean; 1 — findings; 2 — usage or configuration error.
+
+Results are cached under ``.repro-lint-cache/`` (next to the resolved
+``pyproject.toml``), keyed by file content hash — warm runs re-analyse
+only changed files.  ``--no-cache`` disables the cache for one run;
+``--cache-dir`` relocates it.
 """
 
 from __future__ import annotations
@@ -17,9 +25,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .cache import DEFAULT_CACHE_DIR, LintCache, cache_key
 from .config import LintConfig, find_pyproject, load_config
-from .engine import PARSE_ERROR_CODE, lint_paths
+from .engine import PARSE_ERROR_CODE, analyze_paths, lint_paths
+from .graph.dump import dump_dot, dump_json
+from .graph.program import ProgramGraph
 from .rules import ALL_RULES, RULES_BY_CODE
+from .sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +75,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to switch off",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        default=None,
+        help="dump the whole-program import/call graph and exit",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="analyse files with N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR} next to "
+        "pyproject.toml)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
@@ -82,6 +125,22 @@ def _split_codes(raw: Optional[str]) -> frozenset:
     return frozenset(code.strip() for code in raw.split(",") if code.strip())
 
 
+def _build_cache(
+    args: argparse.Namespace,
+    config: LintConfig,
+    pyproject: Optional[Path],
+) -> Optional[LintCache]:
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        directory = Path(args.cache_dir)
+    else:
+        anchor = pyproject.parent if pyproject is not None else Path.cwd()
+        directory = anchor / DEFAULT_CACHE_DIR
+    key = cache_key(config.digest(), sorted(RULES_BY_CODE))
+    return LintCache(directory, key)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -92,13 +151,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{cls.code}  {cls.name:<{width}}  {cls.description}")
         return 0
 
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    pyproject: Optional[Path] = None
     try:
         if args.no_config:
             config = LintConfig()
         else:
-            pyproject = (
-                Path(args.config) if args.config else find_pyproject()
-            )
+            pyproject = Path(args.config) if args.config else find_pyproject()
             config = load_config(pyproject)
     except (ValueError, OSError) as exc:
         print(f"repro-lint: configuration error: {exc}", file=sys.stderr)
@@ -132,7 +194,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro-lint: no such path: {path}", file=sys.stderr)
         return 2
 
-    findings = lint_paths(paths, config=config)
+    cache = _build_cache(args, config, pyproject)
+
+    if args.graph is not None:
+        analyses = analyze_paths(
+            paths, config=config, jobs=args.jobs, cache=cache
+        )
+        summaries = [a.summary for a in analyses if a.summary is not None]
+        graph = ProgramGraph(summaries)
+        render = dump_dot if args.graph == "dot" else dump_json
+        sys.stdout.write(render(graph))
+        return 0
+
+    findings = lint_paths(paths, config=config, jobs=args.jobs, cache=cache)
+    if args.format == "sarif":
+        sys.stdout.write(render_sarif(findings))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render())
     if not args.quiet:

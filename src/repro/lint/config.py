@@ -19,11 +19,14 @@ stay identical across interpreter versions.
 
 from __future__ import annotations
 
+import hashlib
 import sys
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from .base import CODE_PATTERN
 
 __all__ = [
     "LintConfig",
@@ -44,6 +47,7 @@ DEFAULT_EXCLUDE: Tuple[str, ...] = (
     "__pycache__/*",
     "*.egg-info/*",
     ".git/*",
+    ".repro-lint-cache/*",
 )
 
 
@@ -51,9 +55,11 @@ def _match(path: Path, pattern: str) -> bool:
     """Glob-match ``pattern`` against ``path`` or any suffix of it.
 
     ``"sim/rng.py"`` matches ``src/repro/sim/rng.py``; absolute patterns
-    still match absolutely.
+    still match absolutely.  Backslash separators (Windows-style paths,
+    or strings that arrived pre-joined) are normalised to ``/`` so the
+    same glob table works on every platform.
     """
-    posix = path.as_posix()
+    posix = path.as_posix().replace("\\", "/")
     return fnmatch(posix, pattern) or fnmatch(posix, "*/" + pattern)
 
 
@@ -91,6 +97,24 @@ class LintConfig:
         ignored = self.ignored_codes(path)
         return "all" in ignored or code in ignored
 
+    def digest(self) -> str:
+        """Stable fingerprint of everything that affects lint results.
+
+        Cached per-file findings are only valid under the configuration
+        that produced them; the engine's result cache keys on this.
+        """
+        parts = [
+            "select=" + ",".join(sorted(self.select)),
+            "disable=" + ",".join(sorted(self.disable)),
+            "exclude=" + ",".join(self.exclude),
+            "per_file_ignores="
+            + ";".join(
+                f"{glob}:{','.join(sorted(codes))}"
+                for glob, codes in sorted(self.per_file_ignores.items())
+            ),
+        ]
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
 
 def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
     """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
@@ -127,6 +151,19 @@ def _as_code_set(raw: object, where: str) -> FrozenSet[str]:
         isinstance(item, str) for item in raw
     ):
         raise ValueError(f"[tool.repro-lint] {where} must be a list of strings")
+    # A typo'd code ("RPR1", "rpr001") silently matching nothing is the
+    # failure mode this linter exists to prevent — reject the shape here
+    # (the CLI separately rejects well-shaped but unregistered codes).
+    bad = sorted(
+        item
+        for item in raw
+        if item != "all" and not CODE_PATTERN.match(item)
+    )
+    if bad:
+        raise ValueError(
+            f"[tool.repro-lint] {where} contains invalid rule code(s): "
+            f"{', '.join(bad)} (expected RPRnnn or 'all')"
+        )
     return frozenset(raw)
 
 

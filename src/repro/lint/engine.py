@@ -1,25 +1,51 @@
 """File discovery and the lint driver loop.
 
-The engine is rule-agnostic: it finds Python files, parses each once,
-runs every enabled :class:`~repro.lint.base.Rule` over the tree, then
-filters findings through per-file ignores and inline suppressions.
-Syntax errors are reported as ``RPR000`` findings rather than crashing
-the run — an unparseable file in a determinism-audited tree is itself a
-finding.
+The engine is rule-agnostic and runs in two stages.  Stage one analyses
+each file independently: read bytes (hashed for the result cache),
+parse once, run every enabled per-file :class:`~repro.lint.base.Rule`,
+scan suppressions, and distil a
+:class:`~repro.lint.graph.summary.ModuleSummary`.  Stage two builds one
+:class:`~repro.lint.graph.program.ProgramGraph` over all summaries and
+runs the :class:`~repro.lint.base.GraphRule` checks, filtering their
+findings through the same per-file ignores and inline suppressions as
+everything else.
+
+Stage one is embarrassingly parallel: with ``jobs > 1`` the cache
+misses fan out over a ``ProcessPoolExecutor`` and merge back in input
+order, so the report is byte-identical to a serial run.  Syntax errors
+are reported as ``RPR000`` findings rather than crashing the run — an
+unparseable file in a determinism-audited tree is itself a finding.
+
+Files are read as *bytes* and parsed with their declared encoding:
+``ast.parse`` honours PEP 263 cookies and BOMs, and the source handed
+to rules is decoded via :func:`tokenize.detect_encoding`, so a latin-1
+module with an encoding comment lints instead of crashing the driver.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
+import tokenize
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .base import Finding, Rule, RuleContext
+from .base import Finding, GraphRule, Rule, RuleContext
+from .cache import FileAnalysis, LintCache
 from .config import LintConfig
+from .graph.program import ProgramGraph
+from .graph.summary import summarize_module
 from .rules import make_rules
 from .suppressions import scan_suppressions
 
-__all__ = ["iter_python_files", "lint_file", "lint_paths", "PARSE_ERROR_CODE"]
+__all__ = [
+    "analyze_paths",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "PARSE_ERROR_CODE",
+]
 
 #: Pseudo-code attached to files that fail to parse.
 PARSE_ERROR_CODE = "RPR000"
@@ -61,45 +87,67 @@ def _display_path(path: Path) -> Path:
         return path
 
 
-def lint_file(
-    path: Path,
-    config: Optional[LintConfig] = None,
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Lint one file; returns surviving findings sorted by location."""
-    config = config if config is not None else LintConfig()
-    rules = rules if rules is not None else make_rules()
-    display = _display_path(path)
+def _decode_source(data: bytes) -> str:
+    """Decode source bytes honouring PEP 263 cookies and BOMs.
 
+    Falls back to UTF-8 with replacement rather than raising — by the
+    time this runs the bytes have already parsed, so the decoded text
+    is only used for suppression scanning and rule context.
+    """
     try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        return [
-            Finding(
-                path=display.as_posix(),
-                line=1,
-                col=1,
-                code=PARSE_ERROR_CODE,
-                message=f"cannot read file: {exc}",
-            )
-        ]
+        encoding, _ = tokenize.detect_encoding(io.BytesIO(data).readline)
+    except (SyntaxError, UnicodeDecodeError):
+        encoding = "utf-8"
     try:
-        tree = ast.parse(source, filename=str(path))
+        return data.decode(encoding)
+    except (UnicodeDecodeError, LookupError):
+        return data.decode("utf-8", errors="replace")
+
+
+def _analyze_source(
+    display: str,
+    data: bytes,
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> FileAnalysis:
+    """Stage-one analysis of one file's bytes (pure; pool-safe)."""
+    path = Path(display)
+    try:
+        tree = ast.parse(data, filename=display)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=display.as_posix(),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                code=PARSE_ERROR_CODE,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return FileAnalysis(
+            display=display,
+            findings=[
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+        )
+    except ValueError as exc:  # e.g. null bytes in source
+        return FileAnalysis(
+            display=display,
+            findings=[
+                Finding(
+                    path=display,
+                    line=1,
+                    col=1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"cannot parse file: {exc}",
+                )
+            ],
+        )
 
-    ctx = RuleContext(path=display, tree=tree, source=source)
+    source = _decode_source(data)
+    ctx = RuleContext(path=path, tree=tree, source=source)
     suppressions = scan_suppressions(source)
     findings: List[Finding] = []
     for rule in rules:
+        if isinstance(rule, GraphRule):
+            continue
         if not config.rule_enabled(rule.code):
             continue
         if config.is_ignored(path, rule.code):
@@ -107,18 +155,168 @@ def lint_file(
         for finding in rule.run(ctx):
             if not suppressions.suppresses(finding):
                 findings.append(finding)
-    return sorted(findings)
+    return FileAnalysis(
+        display=display,
+        findings=sorted(findings),
+        summary=summarize_module(path, tree),
+        suppressions=suppressions,
+    )
+
+
+def _pool_worker(payload: Tuple[str, bytes, LintConfig]) -> FileAnalysis:
+    """Top-level (picklable) entry for ``--jobs`` worker processes.
+
+    Workers rebuild the default rule set from the registry they import
+    themselves — rule instances never cross process boundaries.
+    """
+    display, data, config = payload
+    return _analyze_source(display, data, config, make_rules())
+
+
+def _read_error(display: str, exc: OSError) -> FileAnalysis:
+    return FileAnalysis(
+        display=display,
+        findings=[
+            Finding(
+                path=display,
+                line=1,
+                col=1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot read file: {exc}",
+            )
+        ],
+    )
+
+
+def _run_graph_rules(
+    analyses: Sequence[FileAnalysis],
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Stage two: whole-program rules over the per-file summaries."""
+    graph_rules = [
+        rule
+        for rule in rules
+        if isinstance(rule, GraphRule) and config.rule_enabled(rule.code)
+    ]
+    if not graph_rules:
+        return []
+    summaries = [a.summary for a in analyses if a.summary is not None]
+    if not summaries:
+        return []
+    graph = ProgramGraph(summaries)
+    suppressions_by_path: Dict[str, object] = {
+        a.display: a.suppressions
+        for a in analyses
+        if a.suppressions is not None
+    }
+    findings: List[Finding] = []
+    for rule in graph_rules:
+        for finding in rule.run_program(graph):
+            path = Path(finding.path)
+            if config.is_ignored(path, finding.code):
+                continue
+            suppressions = suppressions_by_path.get(finding.path)
+            if suppressions is not None and suppressions.suppresses(finding):
+                continue
+            findings.append(finding)
+    return findings
+
+
+class _Slot:
+    """One file's place in the in-order stage-one pipeline."""
+
+    __slots__ = ("display", "sha", "data", "analysis")
+
+    def __init__(self, display: str) -> None:
+        self.display = display
+        self.sha = ""
+        self.data: Optional[bytes] = None
+        self.analysis: Optional[FileAnalysis] = None
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[LintCache] = None,
+) -> List[FileAnalysis]:
+    """Stage-one analyses for every file named by ``paths``, in order."""
+    config = config if config is not None else LintConfig()
+    custom_rules = rules is not None
+    rules = rules if custom_rules else make_rules()
+
+    slots: List[_Slot] = []
+    for path in iter_python_files(paths, config):
+        slot = _Slot(_display_path(path).as_posix())
+        slots.append(slot)
+        try:
+            slot.data = path.read_bytes()
+        except OSError as exc:
+            slot.analysis = _read_error(slot.display, exc)
+            continue
+        slot.sha = hashlib.sha256(slot.data).hexdigest()
+        if cache is not None:
+            slot.analysis = cache.get(slot.display, slot.sha)
+
+    # Fan the cache misses out; merge results back in input order so
+    # the report is identical whatever the worker count.
+    misses = [slot for slot in slots if slot.analysis is None]
+    # Custom rule sequences may not be picklable; those runs stay serial.
+    if jobs > 1 and not custom_rules and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [(slot.display, slot.data, config) for slot in misses]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for slot, analysis in zip(misses, pool.map(_pool_worker, payloads)):
+                slot.analysis = analysis
+    else:
+        for slot in misses:
+            assert slot.data is not None
+            slot.analysis = _analyze_source(
+                slot.display, slot.data, config, rules
+            )
+
+    if cache is not None:
+        for slot in misses:
+            if slot.sha and slot.analysis is not None:
+                cache.put(slot.display, slot.sha, slot.analysis)
+        cache.save()
+    return [slot.analysis for slot in slots if slot.analysis is not None]
 
 
 def lint_paths(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     rules: Optional[Sequence[Rule]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[LintCache] = None,
 ) -> List[Finding]:
     """Lint files and directories; returns all findings sorted."""
     config = config if config is not None else LintConfig()
     rules = rules if rules is not None else make_rules()
+    analyses = analyze_paths(
+        paths, config=config, rules=rules, jobs=jobs, cache=cache
+    )
     findings: List[Finding] = []
-    for path in iter_python_files(paths, config):
-        findings.extend(lint_file(path, config=config, rules=rules))
+    for analysis in analyses:
+        findings.extend(analysis.findings)
+    findings.extend(_run_graph_rules(analyses, config, rules))
     return sorted(findings)
+
+
+def lint_file(
+    path: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one file; returns surviving findings sorted by location.
+
+    Graph rules see a single-file program, so cross-module reachability
+    degenerates to within-module edges — the same behaviour a
+    one-file ``lint_paths`` call gets.
+    """
+    return lint_paths([path], config=config, rules=rules)

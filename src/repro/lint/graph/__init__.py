@@ -1,0 +1,43 @@
+"""Whole-program analysis substrate for ``repro.lint``.
+
+The per-file rules (RPR001–RPR009) see one module at a time; the rules
+that guard *cross-module* seams (RPR010–RPR013) need to know who calls
+whom and who imports whom across the whole tree.  This package supplies
+that substrate in three stdlib-only pieces:
+
+* :mod:`~repro.lint.graph.summary` — a compact, JSON-serialisable
+  :class:`ModuleSummary` extracted from each parsed module: imports
+  (with their laziness), a function table with call sites, allocation
+  sites, parameter attribute writes and ``@hotpath``/``@coldpath``
+  markers, and module-level mutable global bindings.  Summaries are
+  what the content-hash cache stores, so warm runs rebuild the program
+  graph without re-parsing a single unchanged file.
+* :mod:`~repro.lint.graph.program` — :class:`ProgramGraph`, the
+  whole-program view over a set of summaries: an import graph (with
+  parent-package edges) and a conservative, name-resolution-based
+  intra-package call graph, plus the BFS reachability helpers the
+  graph rules are written against.
+* :mod:`~repro.lint.graph.layers` — the declared architecture layer
+  DAG that RPR011 enforces (see ``docs/static_analysis.md``).
+
+:mod:`~repro.lint.graph.dump` renders the graph as DOT or JSON for the
+``repro-lint --graph`` CLI.
+"""
+
+from __future__ import annotations
+
+from .layers import LAYER_INDEX, LAYER_TABLE, component_layer
+from .program import CallSite, ProgramGraph
+from .summary import FunctionInfo, ImportRecord, ModuleSummary, summarize_module
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ImportRecord",
+    "LAYER_INDEX",
+    "LAYER_TABLE",
+    "ModuleSummary",
+    "ProgramGraph",
+    "component_layer",
+    "summarize_module",
+]

@@ -1,0 +1,94 @@
+"""Render a :class:`~repro.lint.graph.program.ProgramGraph` for humans.
+
+Two formats, both deterministic (sorted nodes and edges, no
+timestamps), so dumps diff cleanly across runs:
+
+* ``dot`` — Graphviz digraph of the *import* graph, modules clustered
+  by component, eager imports solid, lazy imports dashed,
+  ``TYPE_CHECKING`` imports dotted.
+* ``json`` — the full machine view: per-module imports, the function
+  table and every resolved call edge.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set, Tuple
+
+from .program import ProgramGraph
+
+__all__ = ["dump_dot", "dump_json"]
+
+_STYLE = {"top": "solid", "lazy": "dashed", "tc": "dotted"}
+
+
+def dump_dot(graph: ProgramGraph) -> str:
+    """Graphviz source of the import graph, clustered by component."""
+    lines: List[str] = [
+        "digraph repro_imports {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+    ]
+    clusters: Dict[str, List[str]] = {}
+    for summary in graph.summaries:
+        if not summary.module:
+            continue
+        clusters.setdefault(summary.component or "?", []).append(summary.module)
+    for index, component in enumerate(sorted(clusters)):
+        lines.append(f'  subgraph "cluster_{index}" {{')
+        lines.append(f'    label="{component}";')
+        for module in sorted(clusters[component]):
+            lines.append(f'    "{module}";')
+        lines.append("  }")
+    edges: Set[Tuple[str, str, str]] = set()
+    for summary, record, target in graph.iter_import_edges():
+        if summary.module and summary.module != target:
+            edges.add((summary.module, target, record.kind))
+    for source, target, kind in sorted(edges):
+        style = _STYLE.get(kind, "solid")
+        lines.append(f'  "{source}" -> "{target}" [style={style}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_json(graph: ProgramGraph) -> str:
+    """JSON document with modules, imports, functions and call edges."""
+    modules = []
+    for summary in graph.summaries:
+        key = summary.module or summary.path
+        functions = []
+        for fn in summary.functions:
+            calls = [
+                {
+                    "module": edge.callee_module,
+                    "qname": edge.callee_qname,
+                    "line": edge.line,
+                }
+                for edge in graph.call_edges.get((key, fn.qname), ())
+            ]
+            functions.append(
+                {
+                    "qname": fn.qname,
+                    "line": fn.line,
+                    "hotpath": fn.is_hotpath,
+                    "coldpath": fn.is_coldpath,
+                    "calls": calls,
+                }
+            )
+        modules.append(
+            {
+                "path": summary.path,
+                "module": summary.module,
+                "component": summary.component,
+                "imports": [
+                    {"target": imp.target, "kind": imp.kind, "line": imp.line}
+                    for imp in summary.imports
+                ],
+                "functions": functions,
+                "mutable_globals": [
+                    {"name": name, "line": line, "constructor": label}
+                    for line, _, name, label in summary.mutable_globals
+                ],
+            }
+        )
+    return json.dumps({"modules": modules}, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,329 @@
+"""The whole-program view: import graph + conservative call graph.
+
+:class:`ProgramGraph` is built from a bag of
+:class:`~repro.lint.graph.summary.ModuleSummary` records (fresh or
+cache-restored) and resolves the three call shapes the summaries keep:
+
+* bare names — same-module functions (including nested siblings),
+  same-module classes (→ ``__init__``) and ``from X import f`` bindings;
+* ``self.m()`` / ``cls.m()`` — methods of the enclosing class;
+* dotted calls — ``import``/``from`` bindings substituted, then matched
+  against the longest known module prefix (``mod.f()``,
+  ``mod.Class()``, ``mod.Class.method()``).
+
+Anything else — calls through local variables, subscripts, returned
+callables, bound methods stored in closure locals — is *opaque*: no
+edge is created.  Graph rules are therefore under-approximate by
+construction and must never rely on the absence of an edge to prove
+safety, only on its presence to report a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .summary import FunctionInfo, ImportRecord, ModuleSummary
+
+__all__ = ["CallSite", "Node", "ProgramGraph"]
+
+#: A function node: ``(dotted module name, qualified name in module)``.
+Node = Tuple[str, str]
+
+
+@dataclass(frozen=True, order=True)
+class CallSite:
+    """One resolved call edge, anchored at the call expression."""
+
+    caller_module: str
+    caller_qname: str
+    callee_module: str
+    callee_qname: str
+    line: int
+
+    @property
+    def caller(self) -> Node:
+        return (self.caller_module, self.caller_qname)
+
+    @property
+    def callee(self) -> Node:
+        return (self.callee_module, self.callee_qname)
+
+
+class _Bindings:
+    """Name bindings one module's imports establish, for call resolution."""
+
+    def __init__(self) -> None:
+        #: local name -> dotted module path it abbreviates.
+        self.module_alias: Dict[str, str] = {}
+        #: local name -> (source module, member name) from ``from X import f``.
+        self.member: Dict[str, Tuple[str, str]] = {}
+
+
+class ProgramGraph:
+    """Import and call graph over a set of module summaries."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.summaries: Tuple[ModuleSummary, ...] = tuple(
+            sorted(summaries, key=lambda s: s.path)
+        )
+        #: dotted module name -> summary (anonymous modules excluded).
+        self.modules: Dict[str, ModuleSummary] = {
+            s.module: s for s in self.summaries if s.module
+        }
+        #: posix path -> summary (every file, anonymous or not).
+        self.by_path: Dict[str, ModuleSummary] = {
+            s.path: s for s in self.summaries
+        }
+        self.functions: Dict[Node, FunctionInfo] = {}
+        for summary in self.summaries:
+            for fn in summary.functions:
+                self.functions[(summary.module or summary.path, fn.qname)] = fn
+        self._bindings: Dict[str, _Bindings] = {
+            key: self._bind(summary)
+            for key, summary in (
+                (s.module or s.path, s) for s in self.summaries
+            )
+        }
+        self.call_edges: Dict[Node, List[CallSite]] = {}
+        for summary in self.summaries:
+            self._resolve_module(summary)
+
+    # -- construction ----------------------------------------------------
+
+    def _bind(self, summary: ModuleSummary) -> _Bindings:
+        bindings = _Bindings()
+        for imp in summary.imports:
+            if imp.names:  # from X import a, b
+                for name, asname in imp.names:
+                    submodule = f"{imp.target}.{name}"
+                    if submodule in self.modules:
+                        bindings.module_alias[asname] = submodule
+                    else:
+                        bindings.member[asname] = (imp.target, name)
+            elif imp.asname:  # import a.b as m
+                bindings.module_alias[imp.asname] = imp.target
+            else:  # import a.b — binds the root name "a"
+                root = imp.target.split(".")[0]
+                bindings.module_alias.setdefault(root, root)
+        return bindings
+
+    def _resolve_module(self, summary: ModuleSummary) -> None:
+        key = summary.module or summary.path
+        bindings = self._bindings[key]
+        for fn in summary.functions:
+            caller: Node = (key, fn.qname)
+            edges: List[CallSite] = []
+            for kind, name, line in fn.calls:
+                callee = self._resolve_call(summary, key, bindings, fn, kind, name)
+                if callee is not None:
+                    edges.append(
+                        CallSite(
+                            caller_module=key,
+                            caller_qname=fn.qname,
+                            callee_module=callee[0],
+                            callee_qname=callee[1],
+                            line=line,
+                        )
+                    )
+            if edges:
+                self.call_edges[caller] = edges
+
+    def _local_function(
+        self, summary: ModuleSummary, key: str, qname: str
+    ) -> Optional[Node]:
+        if (key, qname) in self.functions:
+            return (key, qname)
+        return None
+
+    def _resolve_call(
+        self,
+        summary: ModuleSummary,
+        key: str,
+        bindings: _Bindings,
+        fn: FunctionInfo,
+        kind: str,
+        name: str,
+    ) -> Optional[Node]:
+        if kind == "self":
+            head = fn.qname.split(".")[0]
+            if head in summary.classes and name in summary.classes[head]:
+                return (key, f"{head}.{name}")
+            return None
+        if kind == "name":
+            # Nested siblings first: f.<locals>.g calling h tries
+            # f.<locals>.h before module-level h.
+            if ".<locals>." in fn.qname:
+                scope = fn.qname.rsplit(".", 1)[0]  # ... .<locals>
+                while scope.endswith(".<locals>"):
+                    candidate = self._local_function(
+                        summary, key, f"{scope}.{name}"
+                    )
+                    if candidate:
+                        return candidate
+                    scope = scope[: -len(".<locals>")].rsplit(".", 1)[0]
+                    if not scope.endswith("<locals>"):
+                        break
+            local = self._local_function(summary, key, name)
+            if local:
+                return local
+            if name in summary.classes:
+                return self._class_init(key, summary, name)
+            if name in bindings.member:
+                src, member = bindings.member[name]
+                return self._member_target(src, member)
+            return None
+        if kind == "attr":
+            head, _, rest = name.partition(".")
+            if not rest:
+                return None
+            if head in bindings.module_alias:
+                full = f"{bindings.module_alias[head]}.{rest}"
+            elif head in self.modules:
+                full = name
+            else:
+                return None
+            return self._resolve_dotted(full)
+        return None
+
+    def _class_init(
+        self, key: str, summary: ModuleSummary, cls: str
+    ) -> Optional[Node]:
+        if "__init__" in summary.classes.get(cls, ()):
+            return (key, f"{cls}.__init__")
+        return None
+
+    def _member_target(self, module: str, member: str) -> Optional[Node]:
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        key = summary.module
+        if (key, member) in self.functions:
+            return (key, member)
+        if member in summary.classes:
+            return self._class_init(key, summary, member)
+        # Re-exported through a package __init__: follow one level of
+        # ``from .sub import member`` indirection.
+        for imp in summary.imports:
+            for name, asname in imp.names:
+                if asname == member and imp.target in self.modules:
+                    return self._member_target(imp.target, name)
+        return None
+
+    def _resolve_dotted(self, full: str) -> Optional[Node]:
+        # Longest known module prefix wins; the remainder must be a
+        # function, a class (→ __init__) or Class.method in that module.
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module not in self.modules:
+                continue
+            summary = self.modules[module]
+            rest = parts[cut:]
+            if len(rest) == 1:
+                if (module, rest[0]) in self.functions:
+                    return (module, rest[0])
+                if rest[0] in summary.classes:
+                    return self._class_init(module, summary, rest[0])
+                return self._member_target(module, rest[0])
+            if len(rest) == 2 and rest[0] in summary.classes:
+                if rest[1] in summary.classes[rest[0]]:
+                    return (module, f"{rest[0]}.{rest[1]}")
+            return None
+        return None
+
+    # -- queries ---------------------------------------------------------
+
+    def iter_import_edges(
+        self, kinds: Sequence[str] = ("top", "lazy", "tc")
+    ) -> Iterator[Tuple[ModuleSummary, ImportRecord, str]]:
+        """Yield ``(source summary, record, target module)`` for known
+        targets, expanding ``from pkg import submodule`` to the
+        submodule when it exists in the program."""
+        wanted = set(kinds)
+        for summary in self.summaries:
+            for imp in summary.imports:
+                if imp.kind not in wanted:
+                    continue
+                if imp.target in self.modules:
+                    yield summary, imp, imp.target
+                for name, _ in imp.names:
+                    sub = f"{imp.target}.{name}"
+                    if sub in self.modules:
+                        yield summary, imp, sub
+
+    def import_closure(
+        self, roots: Sequence[str], kinds: Sequence[str] = ("top", "lazy")
+    ) -> Set[str]:
+        """Modules transitively imported from ``roots`` (roots included).
+
+        Importing ``a.b.c`` executes ``a`` and ``a.b`` too, so parent
+        packages are always pulled into the closure.
+        """
+        wanted = set(kinds)
+        closure: Set[str] = set()
+        stack = [m for m in roots if m in self.modules]
+        while stack:
+            module = stack.pop()
+            if module in closure:
+                continue
+            closure.add(module)
+            parts = module.split(".")
+            for cut in range(1, len(parts)):
+                parent = ".".join(parts[:cut])
+                if parent in self.modules and parent not in closure:
+                    stack.append(parent)
+            summary = self.modules[module]
+            for imp in summary.imports:
+                if imp.kind not in wanted:
+                    continue
+                if imp.target in self.modules:
+                    stack.append(imp.target)
+                for name, _ in imp.names:
+                    sub = f"{imp.target}.{name}"
+                    if sub in self.modules:
+                        stack.append(sub)
+        return closure
+
+    def reachable(
+        self, roots: Sequence[Node], stop: Optional[Set[Node]] = None
+    ) -> Dict[Node, Optional[CallSite]]:
+        """BFS over call edges from ``roots``.
+
+        Returns ``node -> incoming CallSite`` (``None`` for roots), so
+        callers can reconstruct the call chain of any reached node.
+        Nodes in ``stop`` are reached but not expanded.
+        """
+        stop = stop or set()
+        parents: Dict[Node, Optional[CallSite]] = {}
+        queue: List[Node] = []
+        for root in roots:
+            if root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            node = queue.pop(0)
+            if node in stop:
+                continue
+            for edge in self.call_edges.get(node, ()):
+                if edge.callee not in parents:
+                    parents[edge.callee] = edge
+                    queue.append(edge.callee)
+        return parents
+
+    @staticmethod
+    def call_chain(
+        parents: Dict[Node, Optional[CallSite]], node: Node
+    ) -> List[Node]:
+        """Root-to-``node`` path through the BFS parent map."""
+        chain = [node]
+        seen = {node}
+        edge = parents.get(node)
+        while edge is not None:
+            caller = edge.caller
+            if caller in seen:
+                break
+            chain.append(caller)
+            seen.add(caller)
+            edge = parents.get(caller)
+        return list(reversed(chain))

@@ -15,11 +15,15 @@ from .allocation import HotpathAllocationRule
 from .determinism import DeterminismRule
 from .exports import ExportsRule
 from .governor_purity import GovernorPurityRule
+from .governor_reach import GovernorReachRule
+from .hotpath_transitive import HotpathTransitiveRule
 from .hygiene import HygieneRule
+from .layering import LayeringRule
 from .reproducibility import ReproducibilityRule
 from .runtime_boundary import RuntimeBoundaryRule
 from .telemetry_clock import TelemetryClockRule
 from .unit_safety import UnitSafetyRule
+from .worker_state import WorkerStateRule
 
 __all__ = [
     "ALL_RULES",
@@ -34,6 +38,10 @@ __all__ = [
     "RuntimeBoundaryRule",
     "TelemetryClockRule",
     "HotpathAllocationRule",
+    "HotpathTransitiveRule",
+    "LayeringRule",
+    "GovernorReachRule",
+    "WorkerStateRule",
 ]
 
 #: Ordered rule plugin table (report order follows registration order).
@@ -47,6 +55,10 @@ ALL_RULES: List[Type[Rule]] = [
     RuntimeBoundaryRule,
     TelemetryClockRule,
     HotpathAllocationRule,
+    HotpathTransitiveRule,
+    LayeringRule,
+    GovernorReachRule,
+    WorkerStateRule,
 ]
 
 #: Code → rule class lookup.

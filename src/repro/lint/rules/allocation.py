@@ -28,13 +28,26 @@ import ast
 from typing import Iterator, Union
 
 from ..base import Finding, Rule, RuleContext, dotted_name
+from ..graph.summary import classify_allocation
 
 __all__ = ["HotpathAllocationRule"]
 
-#: Builtin constructors whose call in a hot function is an allocation.
-_ALLOCATING_CALLS = frozenset({"dict", "list", "set", "str"})
-
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_CLOSURE_SUFFIX = " closure created"
+
+
+def _per_tick_message(label: str, where: str) -> str:
+    """RPR009 wording for a shared-classifier allocation label."""
+    if label.endswith(_CLOSURE_SUFFIX):
+        subject = label[: -len(_CLOSURE_SUFFIX)]
+        return f"{subject} creates a closure per tick {where}"
+    if label == "f-string built":
+        return (
+            f"f-string built per tick {where} (cold "
+            "messages belong in a plain helper function)"
+        )
+    return f"{label} per tick {where}"
 
 
 def _is_hotpath_decorator(node: ast.expr) -> bool:
@@ -68,47 +81,9 @@ class HotpathAllocationRule(Rule):
         where = f"in @hotpath function {func.name!r}"
         for stmt in func.body:
             for node in ast.walk(stmt):
-                if isinstance(node, (ast.Dict, ast.DictComp)):
-                    yield self.finding(
-                        ctx, node, f"dict built per tick {where}"
-                    )
-                elif isinstance(node, (ast.List, ast.ListComp)):
-                    yield self.finding(
-                        ctx, node, f"list built per tick {where}"
-                    )
-                elif isinstance(node, (ast.Set, ast.SetComp)):
-                    yield self.finding(
-                        ctx, node, f"set built per tick {where}"
-                    )
-                elif isinstance(node, ast.GeneratorExp):
-                    yield self.finding(
-                        ctx, node, f"generator built per tick {where}"
-                    )
-                elif isinstance(node, ast.JoinedStr):
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"f-string built per tick {where} (cold "
-                        "messages belong in a plain helper function)",
-                    )
-                elif isinstance(node, ast.Call):
-                    callee = dotted_name(node.func)
-                    if callee in _ALLOCATING_CALLS:
-                        yield self.finding(
-                            ctx,
-                            node,
-                            f"{callee}() allocation per tick {where}",
-                        )
-                elif isinstance(
-                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-                ):
-                    label = (
-                        "lambda"
-                        if isinstance(node, ast.Lambda)
-                        else f"nested function {node.name!r}"
-                    )
-                    yield self.finding(
-                        ctx,
-                        node,
-                        f"{label} creates a closure per tick {where}",
-                    )
+                # The ban list itself lives in one place —
+                # ``repro.lint.graph.summary.classify_allocation`` —
+                # shared with the transitive RPR010 rule.
+                label = classify_allocation(node)
+                if label is not None:
+                    yield self.finding(ctx, node, _per_tick_message(label, where))

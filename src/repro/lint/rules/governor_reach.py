@@ -1,0 +1,80 @@
+"""RPR012 — governor purity holds across the whole call graph.
+
+RPR003 bans a governor from writing attributes on objects it receives,
+but only looks inside ``governors/`` files.  The loophole is a wrapper:
+the governor hands its sensor package to a helper in another module and
+the helper does the mutation.  Comparable-governor guarantees (the
+point of the governor zoo) die the moment that compiles.
+
+This rule closes the loophole with reachability: starting from every
+function defined in a ``governors`` module, walk the call graph and
+flag any *reached* function — wherever it lives — that performs an
+RPR003-style attribute write rooted at one of its own parameters.
+Functions inside ``governors`` modules are skipped here because RPR003
+already owns them; ``self``/``cls`` roots are never flagged (mutating
+your own object is fine).
+
+Like every graph rule this is conservative: helpers reached through
+opaque call shapes escape, helpers that mutate locally-constructed
+objects passed onward do not trip it.  Presence of an edge plus a
+parameter write is always a genuine purity leak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..base import Finding, GraphRule
+from ..graph.program import Node, ProgramGraph
+
+__all__ = ["GovernorReachRule"]
+
+
+class GovernorReachRule(GraphRule):
+    """Helpers reachable from governors must not mutate their arguments."""
+
+    code = "RPR012"
+    name = "governor-reach-purity"
+    description = (
+        "functions reachable from governor code must not write "
+        "attributes on their parameters (closes the RPR003 wrapper "
+        "loophole)"
+    )
+
+    def check_program(self, graph: ProgramGraph) -> Iterator[Finding]:
+        roots: List[Node] = []
+        governor_keys = set()
+        for summary in graph.summaries:
+            if summary.component != "governors":
+                continue
+            key = summary.module or summary.path
+            governor_keys.add(key)
+            roots.extend((key, fn.qname) for fn in summary.functions)
+        if not roots:
+            return
+        parents = graph.reachable(roots)
+        findings: List[Finding] = []
+        for node in sorted(parents):
+            if node[0] in governor_keys:  # RPR003's jurisdiction
+                continue
+            fn = graph.functions.get(node)
+            if fn is None or not fn.param_writes:
+                continue
+            summary = graph.modules.get(node[0]) or graph.by_path.get(node[0])
+            if summary is None:
+                continue
+            chain = graph.call_chain(parents, node)
+            rendered = " -> ".join(f"{m}:{q}" for m, q in chain)
+            for line, col, param, target in fn.param_writes:
+                findings.append(
+                    self.graph_finding(
+                        summary.path,
+                        line,
+                        col,
+                        f"'{fn.qname}' writes '{target}' on its parameter "
+                        f"'{param}' and is reachable from governor code via "
+                        f"{rendered}; governors must stay pure through "
+                        "every helper they call",
+                    )
+                )
+        yield from sorted(findings)

@@ -1,0 +1,86 @@
+"""RPR013 — no mutable module globals in the worker entrypoint's closure.
+
+The runtime layer fans :func:`repro.runtime.execute.execute_spec` out
+across ``ProcessPoolExecutor`` workers.  Each worker re-imports the
+module tree from scratch, so any *mutable* module-level global a worker
+can see is a fork in determinism waiting to happen: mutate it in the
+parent before fan-out (or in one worker mid-run) and identical RunSpecs
+stop producing identical artifacts, silently invalidating the result
+cache's content-address.
+
+The rule computes the worker's world: every module containing a
+function call-reachable from an ``execute_spec`` root, expanded through
+the *import closure* (eager **and** lazy imports — a lazy import still
+executes inside the worker; parent packages too, since importing
+``a.b.c`` runs ``a`` and ``a.b``).  Any module-level binding of a
+mutable container (``dict``/``list``/``set`` displays or constructors,
+``bytearray``, ``collections`` mutables) in that world is a finding.
+
+The fix is to freeze: ``tuple`` for sequences,
+``types.MappingProxyType`` for registries, ``frozenset`` for sets.
+Dunder bindings (``__all__``) are exempt by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from ..base import Finding, GraphRule
+from ..graph.program import Node, ProgramGraph
+
+__all__ = ["WorkerStateRule"]
+
+
+class WorkerStateRule(GraphRule):
+    """Worker-visible module state must be frozen."""
+
+    code = "RPR013"
+    name = "worker-state-safety"
+    description = (
+        "mutable module-level globals importable from the execute_spec "
+        "worker entrypoint must be frozen (tuple / MappingProxyType / "
+        "frozenset) to keep process fan-out deterministic"
+    )
+
+    #: Top-level function names treated as worker entrypoints.
+    ROOT_FUNCTIONS: Tuple[str, ...] = ("execute_spec",)
+
+    def check_program(self, graph: ProgramGraph) -> Iterator[Finding]:
+        roots: List[Node] = []
+        root_modules: List[str] = []
+        for summary in graph.summaries:
+            key = summary.module or summary.path
+            for fn in summary.functions:
+                if fn.qname in self.ROOT_FUNCTIONS:
+                    roots.append((key, fn.qname))
+                    root_modules.append(key)
+        if not roots:
+            return
+        # The worker's world: modules of call-reachable functions,
+        # closed over eager + lazy imports and parent packages.
+        parents = graph.reachable(roots)
+        seeds: Set[str] = set(root_modules)
+        seeds.update(node[0] for node in parents)
+        world = graph.import_closure(sorted(seeds), kinds=("top", "lazy"))
+        world.update(seeds)  # anonymous (path-keyed) modules stay in
+        entry = ", ".join(
+            sorted({f"{m}:{q}" for m, q in roots})
+        )
+        findings: List[Finding] = []
+        for key in sorted(world):
+            summary = graph.modules.get(key) or graph.by_path.get(key)
+            if summary is None:
+                continue
+            for line, col, name, label in summary.mutable_globals:
+                findings.append(
+                    self.graph_finding(
+                        summary.path,
+                        line,
+                        col,
+                        f"mutable module-level global '{name}' ({label}) "
+                        f"is importable from worker entrypoint {entry}; "
+                        "freeze it (tuple / types.MappingProxyType / "
+                        "frozenset) so process fan-out stays deterministic",
+                    )
+                )
+        yield from sorted(findings)

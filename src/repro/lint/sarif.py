@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 serialisation of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+scanning UIs ingest — GitHub's ``upload-sarif`` action turns the
+document this module emits into inline PR annotations.  The output is
+deterministic: rules sorted by code, results in :class:`Finding` order,
+no timestamps and no absolute paths, so two runs over the same tree
+produce byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .base import Finding
+from .engine import PARSE_ERROR_CODE
+from .rules import ALL_RULES
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_table() -> List[dict]:
+    rules = [
+        {
+            "id": PARSE_ERROR_CODE,
+            "name": "parse-error",
+            "shortDescription": {"text": "file failed to read or parse"},
+        }
+    ]
+    for cls in ALL_RULES:
+        rules.append(
+            {
+                "id": cls.code,
+                "name": cls.name,
+                "shortDescription": {"text": cls.description},
+            }
+        )
+    return sorted(rules, key=lambda rule: rule["id"])
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """One-run SARIF document for ``findings`` (already sorted)."""
+    rule_ids = [rule["id"] for rule in _rule_table()]
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": (
+                rule_ids.index(finding.code)
+                if finding.code in rule_ids
+                else -1
+            ),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_table(),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

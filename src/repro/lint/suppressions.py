@@ -52,6 +52,31 @@ class Suppressions:
             return False
         return self._covers(line_codes, finding.code)
 
+    def to_json(self) -> dict:
+        """JSON-serialisable form (for the engine's result cache).
+
+        An *empty* code list is meaningful (bare ``disable`` = suppress
+        everything on that line), so presence of a line key must
+        round-trip even when its list is empty.
+        """
+        return {
+            "by_line": {
+                str(line): sorted(codes)
+                for line, codes in self._by_line.items()
+            },
+            "file_wide": sorted(self._file_wide),
+        }
+
+    @staticmethod
+    def from_json(raw: dict) -> "Suppressions":
+        return Suppressions(
+            by_line={
+                int(line): frozenset(codes)
+                for line, codes in raw["by_line"].items()
+            },
+            file_wide=frozenset(raw["file_wide"]),
+        )
+
 
 def _parse_codes(raw: str) -> FrozenSet[str]:
     return frozenset(

@@ -15,6 +15,8 @@ no ambient entropy — enforced by ``repro.lint`` RPR001).
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..cluster.cluster import Cluster, RunResult
 from ..config import ClusterConfig
 from ..errors import ConfigurationError
@@ -24,7 +26,7 @@ from .spec import RunSpec
 __all__ = ["execute_spec"]
 
 
-def _resolve(registry: dict, kind: str, name: str):
+def _resolve(registry: Mapping, kind: str, name: str):
     """Look up ``name`` in a registry, failing with the available keys."""
     try:
         return registry[name]

@@ -1,0 +1,23 @@
+"""RPR011 fixture — a plant-layer module eagerly importing upward.
+
+``thermal`` sits in layer 2 of the declared DAG; ``experiments`` in
+layer 7.  The module-level import below must be flagged.  The
+function-scoped import of the same module is the sanctioned lazy idiom
+and must NOT be flagged.
+"""
+
+from repro.experiments import platform
+
+__all__ = ["default_rig_names", "inlet_label"]
+
+
+def inlet_label(node_index):
+    """Uses the eagerly-imported upper layer (the import is the bug)."""
+    return platform.__name__ + ":" + repr(node_index)
+
+
+def default_rig_names():
+    """Lazy upward import: executes at call time, exempt by design."""
+    from repro.experiments import platform as registries
+
+    return sorted(registries.RIG_REGISTRY)

@@ -1,0 +1,13 @@
+"""RPR012 fixture (file 2 of 2) — the impure helper.
+
+Not a governors module, so RPR003 ignores it; RPR012 flags the
+parameter-attribute write because the function is reachable from
+governor code in ``repro/governors/wrapped.py``.
+"""
+
+__all__ = ["apply_setpoint"]
+
+
+def apply_setpoint(package, sample):
+    """Bypasses the actuation API: writes straight into the plant."""
+    package.die_temperature = sample

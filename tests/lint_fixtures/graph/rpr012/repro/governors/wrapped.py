@@ -1,0 +1,23 @@
+"""RPR012 fixture (file 1 of 2) — the wrapper loophole.
+
+The governor below never writes an attribute itself, so RPR003 is
+silent.  It hands its received plant object to a helper in another
+module (``repro/core/impure.py`` in this fixture pair) which performs
+the banned mutation — RPR012 must follow the call edge and flag the
+helper.  Lint both files together.
+"""
+
+from repro.core.impure import apply_setpoint
+
+__all__ = ["WrappedGovernor"]
+
+
+class WrappedGovernor:
+    """Looks pure in isolation; launders mutation through a helper."""
+
+    def __init__(self, driver):
+        self.driver = driver
+
+    def tick(self, package, sample):
+        self.driver.set_duty(0.5)
+        apply_setpoint(package, sample)

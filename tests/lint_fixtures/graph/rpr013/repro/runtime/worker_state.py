@@ -1,0 +1,19 @@
+"""RPR013 fixture — mutable module state visible to fan-out workers.
+
+``execute_spec`` is the worker entrypoint name; the module-level dict
+it memoises into is re-created per worker process, so parent-side
+mutations silently diverge from what workers see.  RPR013 must flag
+the binding (the fix is a frozen structure or per-call state).
+"""
+
+__all__ = ["execute_spec"]
+
+_RESULT_CACHE = {}
+
+
+def execute_spec(spec):
+    """Memoising wrapper: the cache global is the finding."""
+    key = spec.key
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = spec.run()
+    return _RESULT_CACHE[key]

@@ -486,3 +486,147 @@ def test_finding_render_format(tmp_path: Path) -> None:
     findings = lint_source(tmp_path, "from os import *\n__all__ = []\n")
     rendered = findings[0].render()
     assert rendered.endswith("module.py:1:1: RPR005 wildcard import from 'os' hides the import graph; import names explicitly")
+
+
+# ------------------------------------------------- config edge cases
+
+
+def test_per_file_ignores_invalid_code_rejected(tmp_path: Path) -> None:
+    """Code values under per-file-ignores are shape-checked loudly."""
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        dedent(
+            """
+            [tool.repro-lint.per-file-ignores]
+            "sim/rng.py" = ["RPR1"]
+            """
+        )
+    )
+    with pytest.raises(ValueError, match="invalid rule code"):
+        load_config(pyproject)
+
+
+def test_per_file_ignores_unmatched_glob_is_inert(tmp_path: Path) -> None:
+    """Unknown glob keys are allowed — they just never match a path."""
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        dedent(
+            """
+            [tool.repro-lint.per-file-ignores]
+            "no/such/dir/*.py" = ["RPR001"]
+            """
+        )
+    )
+    config = load_config(pyproject)
+    assert not config.is_ignored(Path("src/repro/sim/engine.py"), "RPR001")
+
+
+def test_select_config_invalid_code_rejected(tmp_path: Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        dedent(
+            """
+            [tool.repro-lint]
+            select = ["rpr001"]
+            """
+        )
+    )
+    with pytest.raises(ValueError, match="invalid rule code"):
+        load_config(pyproject)
+
+
+def test_glob_suffix_matches_windows_style_path() -> None:
+    """Backslash-joined paths hit the same per-file-ignore globs."""
+    config = LintConfig()
+    assert config.is_ignored(Path("src\\repro\\sim\\rng.py"), "RPR001")
+    assert config.is_ignored(Path("src/repro/sim/rng.py"), "RPR001")
+    assert not config.is_ignored(Path("src\\repro\\sim\\engine.py"), "RPR001")
+
+
+def test_select_and_disable_interaction(tmp_path: Path) -> None:
+    """disable wins over select when both name the same code."""
+    config = LintConfig(
+        select=frozenset({"RPR001", "RPR004"}),
+        disable=frozenset({"RPR004"}),
+    )
+    assert config.rule_enabled("RPR001")
+    assert not config.rule_enabled("RPR004")  # disabled despite selected
+    assert not config.rule_enabled("RPR005")  # not selected
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+        def f():
+            return time.time()
+        """,
+        config=config,
+    )
+    # RPR001 fires; the missing __all__ leak (RPR004) is disabled.
+    assert codes(findings) == ["RPR001"]
+
+
+# ------------------------------------------- suppression edge cases
+
+
+def test_disable_file_shares_line_one_with_shebang(tmp_path: Path) -> None:
+    target = tmp_path / "script.py"
+    target.write_text(
+        "#!/usr/bin/env python3  # repro-lint: disable-file=RPR001\n"
+        "import time\n"
+        "__all__ = ['f']\n"
+        "def f():\n"
+        "    return time.time()\n"
+    )
+    assert lint_file(target) == []
+
+
+def test_disable_file_on_encoding_comment_line(tmp_path: Path) -> None:
+    """A latin-1 module lints (no decode crash) and its directive holds."""
+    target = tmp_path / "legacy.py"
+    target.write_bytes(
+        b"# -*- coding: latin-1 -*-  # repro-lint: disable-file=RPR001\n"
+        b'"""caf\xe9 module."""\n'
+        b"import time\n"
+        b"__all__ = ['f']\n"
+        b"def f():\n"
+        b"    return time.time()\n"
+    )
+    assert lint_file(target) == []
+
+
+def test_latin1_module_without_directive_still_lints(tmp_path: Path) -> None:
+    """Non-UTF-8 bytes with a PEP 263 cookie must not crash the engine."""
+    target = tmp_path / "legacy.py"
+    target.write_bytes(
+        b"# -*- coding: latin-1 -*-\n"
+        b'"""caf\xe9 module."""\n'
+        b"import time\n"
+        b"__all__ = ['f']\n"
+        b"def f():\n"
+        b"    return time.time()\n"
+    )
+    findings = lint_file(target)
+    assert codes(findings) == ["RPR001"]
+
+
+def test_inline_disable_with_crlf_line_endings(tmp_path: Path) -> None:
+    target = tmp_path / "crlf.py"
+    target.write_bytes(
+        b"import time\r\n"
+        b"__all__ = ['f']\r\n"
+        b"def f():\r\n"
+        b"    return time.time()  # repro-lint: disable=RPR001\r\n"
+    )
+    assert lint_file(target) == []
+
+
+def test_disable_file_with_bom(tmp_path: Path) -> None:
+    target = tmp_path / "bom.py"
+    target.write_bytes(
+        b"\xef\xbb\xbf# repro-lint: disable-file=RPR001\n"
+        b"import time\n"
+        b"__all__ = ['f']\n"
+        b"def f():\n"
+        b"    return time.time()\n"
+    )
+    assert lint_file(target) == []

@@ -22,17 +22,26 @@ ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src" / "repro"
 FIXTURES = ROOT / "tests" / "lint_fixtures"
 
-#: fixture file (relative to FIXTURES) -> the one code it must trip
+#: code -> the fixture file set (relative to FIXTURES) that must trip it
+#: and nothing else.  Multi-file entries exercise the whole-program
+#: rules: the files are linted together in one CLI invocation.
 BAD_FIXTURES = {
-    "rpr001_determinism.py": "RPR001",
-    "rpr002_units.py": "RPR002",
-    "governors/rpr003_purity.py": "RPR003",
-    "rpr004_exports.py": "RPR004",
-    "rpr005_hygiene.py": "RPR005",
-    "experiments/rpr006_run.py": "RPR006",
-    "experiments/rpr007_direct_run.py": "RPR007",
-    "telemetry/rpr008_wallclock.py": "RPR008",
-    "fastpath/rpr009_allocation.py": "RPR009",
+    "RPR001": ("rpr001_determinism.py",),
+    "RPR002": ("rpr002_units.py",),
+    "RPR003": ("governors/rpr003_purity.py",),
+    "RPR004": ("rpr004_exports.py",),
+    "RPR005": ("rpr005_hygiene.py",),
+    "RPR006": ("experiments/rpr006_run.py",),
+    "RPR007": ("experiments/rpr007_direct_run.py",),
+    "RPR008": ("telemetry/rpr008_wallclock.py",),
+    "RPR009": ("fastpath/rpr009_allocation.py",),
+    "RPR010": ("graph/rpr010/repro/fastpath/hot_transitive.py",),
+    "RPR011": ("graph/rpr011/repro/thermal/upward_import.py",),
+    "RPR012": (
+        "graph/rpr012/repro/governors/wrapped.py",
+        "graph/rpr012/repro/core/impure.py",
+    ),
+    "RPR013": ("graph/rpr013/repro/runtime/worker_state.py",),
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")
@@ -64,10 +73,10 @@ def test_src_repro_is_clean_cli_exit_zero() -> None:
     assert "repro-lint: clean" in result.stdout
 
 
-@pytest.mark.parametrize("relpath,code", sorted(BAD_FIXTURES.items()))
-def test_bad_fixture_fails_cli(relpath: str, code: str) -> None:
-    """Each corpus file exits 1 and reports only its own rule's code."""
-    result = run_lint_cli(str(FIXTURES / relpath))
+@pytest.mark.parametrize("code,relpaths", sorted(BAD_FIXTURES.items()))
+def test_bad_fixture_fails_cli(code: str, relpaths: tuple) -> None:
+    """Each corpus file set exits 1 and reports only its own rule's code."""
+    result = run_lint_cli(*(str(FIXTURES / relpath) for relpath in relpaths))
     assert result.returncode == 1, result.stdout + result.stderr
     finding_lines = [
         line
@@ -90,14 +99,14 @@ def test_fixture_corpus_is_complete() -> None:
     """Every registered rule has a known-bad fixture in the corpus."""
     from repro.lint import ALL_RULES
 
-    covered = set(BAD_FIXTURES.values())
+    covered = set(BAD_FIXTURES)
     assert covered == {cls.code for cls in ALL_RULES}
 
 
 def test_list_rules_cli() -> None:
     result = run_lint_cli("--list-rules")
     assert result.returncode == 0
-    for code in BAD_FIXTURES.values():
+    for code in BAD_FIXTURES:
         assert code in result.stdout
 
 

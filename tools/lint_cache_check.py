@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Assert that the repro-lint analysis cache actually pays for itself.
+
+Runs ``python -m repro.lint`` over a target tree twice against a fresh
+cache directory — once cold (cache empty, every file parsed and every
+rule executed) and once warm (every file served from the content-hash
+cache) — and fails unless the warm run is at least ``--speedup`` times
+faster than the cold one.  Both runs must report the same exit status
+and findings, otherwise the cache is returning stale analysis and the
+speedup is meaningless.
+
+CI uses this as the cache-effectiveness gate::
+
+    python tools/lint_cache_check.py src/repro
+
+Exit status 0 when the cache meets the bar, 1 otherwise.  Timings for
+both runs are always printed so regressions show up in CI logs even
+while the check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def timed_lint(target: str, cache_dir: Path) -> Tuple[float, subprocess.CompletedProcess]:
+    start = time.perf_counter()
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            "--cache-dir",
+            str(cache_dir),
+            target,
+        ],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return time.perf_counter() - start, result
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("target", nargs="?", default="src/repro")
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        default=2.0,
+        help="minimum cold/warm wall-time ratio (default: 2.0)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-lint-cache-check-"))
+    try:
+        cold_s, cold = timed_lint(args.target, cache_dir)
+        warm_s, warm = timed_lint(args.target, cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"lint-cache-check: cold {cold_s:.3f}s, warm {warm_s:.3f}s, ratio {ratio:.2f}x")
+
+    if cold.returncode not in (0, 1):
+        print(f"lint-cache-check: cold run failed (exit {cold.returncode})", file=sys.stderr)
+        print(cold.stderr, file=sys.stderr)
+        return 1
+    if warm.returncode != cold.returncode or warm.stdout != cold.stdout:
+        print("lint-cache-check: warm run output diverged from cold run", file=sys.stderr)
+        return 1
+    if ratio < args.speedup:
+        print(
+            f"lint-cache-check: warm run only {ratio:.2f}x faster, "
+            f"required {args.speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
