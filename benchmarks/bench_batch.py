@@ -1,0 +1,118 @@
+"""Baseline the batched (lockstep) fastpath on the fig07 sweep.
+
+Times the Figure-7 four-cap sweep through the serial fastpath (v1: one
+compiled run at a time) and through the batched fastpath
+(:mod:`repro.fastpath.batch`: all four runs advanced in lockstep with
+one stacked thermal solve per tick), verifies the batched results are
+bitwise identical to the serial-fastpath ones — execution times, full
+trace sets, events and per-node summaries — **before** trusting any
+timing, and writes ``BENCH_batch.json`` so future PRs can compare
+against this PR's numbers::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_batch.py --quick    # smoke
+
+The acceptance gate is a **1.5x speedup** of the batched leg over the
+serial-fastpath leg (the bench exits non-zero below the floor).  Both
+legs are single-process, single-core work — the gate holds on any
+host, single-CPU included (matching the caveat recorded in the other
+BENCH files).  Serial-fastpath equivalence to the *reference* engine is
+the previous bench's gate (BENCH_fastpath.json), so the chain
+reference == fastpath == batch is checked end to end across the two.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig07_max_pwm
+from repro.runtime import DEFAULT_SEED, RunExecutor
+
+SPEEDUP_FLOOR = 1.5
+
+
+def _time_sweep(specs, repeats: int, batch: bool):
+    """Median sweep wall time (seconds) and the last sweep's results."""
+    walls, results = [], None
+    for _ in range(repeats):
+        executor = RunExecutor(fastpath=True, batch=batch)
+        t0 = time.perf_counter()
+        results = executor.map(specs)
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls), results
+
+
+def _assert_equivalent(serial, batched) -> None:
+    """Bitwise result equality; raises AssertionError with the field."""
+    for i, (ref, bat) in enumerate(zip(serial, batched)):
+        assert bat.execution_time == ref.execution_time, f"run {i}: time"
+        assert bat.average_power == ref.average_power, f"run {i}: power"
+        assert bat.energy_joules == ref.energy_joules, f"run {i}: energy"
+        assert bat.retired_cycles == ref.retired_cycles, f"run {i}: cycles"
+        assert bat.node_shutdown == ref.node_shutdown, f"run {i}: shutdown"
+        assert sorted(bat.traces.names()) == sorted(ref.traces.names())
+        for name in ref.traces.names():
+            rt, bt = ref.traces[name], bat.traces[name]
+            assert (bt.times == rt.times).all(), f"run {i}: {name} times"
+            assert (bt.values == rt.values).all(), f"run {i}: {name} values"
+        assert len(bat.events) == len(ref.events), f"run {i}: event count"
+        for ea, eb in zip(ref.events, bat.events):
+            assert str(ea) == str(eb), f"run {i}: event {ea}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 5 if args.quick else 3
+    specs = fig07_max_pwm.specs(seed=args.seed, quick=args.quick)
+    print(f"fig07 sweep: {len(specs)} runs, {repeats} repeats per leg")
+
+    serial_s, serial_results = _time_sweep(specs, repeats, batch=False)
+    print(f"fastpath v1 (serial) : {serial_s:7.2f}s median")
+    batch_s, batch_results = _time_sweep(specs, repeats, batch=True)
+    print(f"fastpath v2 (batched): {batch_s:7.2f}s median")
+
+    print("verifying result equivalence ...", end=" ")
+    _assert_equivalent(serial_results, batch_results)
+    print("identical")
+
+    speedup = serial_s / batch_s if batch_s > 0 else float("inf")
+    ok = speedup >= SPEEDUP_FLOOR
+    print(f"speedup   : {speedup:6.2f}x  (gate >= {SPEEDUP_FLOOR}x)")
+    print("gate      :", "PASS" if ok else "FAIL")
+
+    payload = {
+        "benchmark": "batched fastpath (lockstep sweep), fig07 max-PWM caps",
+        "runs": len(specs),
+        "quick": args.quick,
+        "seed": args.seed,
+        "repeats": repeats,
+        "fastpath_wall_s": round(serial_s, 3),
+        "batch_wall_s": round(batch_s, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "equivalent": True,
+        "gate": "pass" if ok else "fail",
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

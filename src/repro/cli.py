@@ -139,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(byte-identical results, roughly half the wall time)"
         ),
     )
+    run_p.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "run batchable sweep groups in lockstep through the batched "
+            "fastpath (implies --fastpath; per-run results stay "
+            "byte-identical)"
+        ),
+    )
 
     tel_p = sub.add_parser(
         "telemetry",
@@ -218,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fastpath",
         action="store_true",
         help="run through the repro.fastpath step compiler",
+    )
+    series_p.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "run batchable sweep groups in lockstep through the batched "
+            "fastpath (implies --fastpath)"
+        ),
     )
 
     sub.add_parser(
@@ -319,7 +336,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments.series import SERIES_REGISTRY
 
         executor = RunExecutor(
-            jobs=args.jobs, cache_dir=args.cache_dir, fastpath=args.fastpath
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            fastpath=args.fastpath,
+            batch=args.batch,
         )
         curves = SERIES_REGISTRY[args.figure](
             seed=args.seed, quick=args.quick, executor=executor
@@ -341,6 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         telemetry=args.telemetry is not None,
         fastpath=args.fastpath,
+        batch=args.batch,
     )
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:

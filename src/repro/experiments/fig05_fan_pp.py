@@ -14,6 +14,11 @@ asserts:
    window rounds, but does *not* chase the jitter inside each burn —
    quantified here as the fan's duty movement during jitter-classified
    rounds vs during sudden-classified rounds.
+
+The three specs differ only in rig parameters (P_p), so the sweep is a
+batchable group: ``RunExecutor(batch=True)`` advances all three runs in
+lockstep through :mod:`repro.fastpath.batch` with byte-identical
+results.
 """
 
 from __future__ import annotations

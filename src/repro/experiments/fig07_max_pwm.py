@@ -11,6 +11,12 @@ Findings reproduced:
    barely changes temperature (the paper calls 50 vs 75 % "not
    significant"), because the proactive controller settles below the
    ceiling anyway — i.e. a cheaper fan run well matches a stronger fan.
+
+The four specs differ only in rig parameters (the PWM cap), so the
+sweep is a batchable group: ``RunExecutor(batch=True)`` (or ``repro run
+fig7 --batch``) advances all four runs in lockstep through
+:mod:`repro.fastpath.batch` with byte-identical results — this sweep is
+the exemplar ``benchmarks/bench_batch.py`` gates on.
 """
 
 from __future__ import annotations

@@ -16,17 +16,25 @@ it tick by tick:
   dt = 0.05 s, so up to 20 ticks run back to back with no task scan.
 * :mod:`repro.fastpath.recording` buffers trace samples and flushes
   them through :meth:`~repro.sim.trace.Trace.extend`.
+* :mod:`repro.fastpath.batch` stacks N independent runs into one
+  structure-of-arrays stepper advanced in lockstep — one ``(N, m, m)``
+  thermal solve per tick across a whole parameter sweep — with each
+  run's results still bitwise identical to its own serial fastpath
+  execution.
 
 The contract is **byte-identical equivalence**: the compiled loop
 performs the same IEEE-754 operations in the same order as the
 reference engine, so traces, events and telemetry match bit for bit
-(enforced by ``tests/test_fastpath_equivalence.py`` and CI).  Opt in
-via ``SimulationEngine(fastpath=True)``, ``RunSpec(fastpath=True)`` or
-``repro run --fastpath``.
+(enforced by ``tests/test_fastpath_equivalence.py``,
+``tests/test_fastpath_batch.py`` and CI).  Opt in via
+``SimulationEngine(fastpath=True)``, ``RunSpec(fastpath=True)`` or
+``repro run --fastpath``; batched sweeps via ``RunExecutor(batch=True)``
+or ``repro run --batch``.
 
-:mod:`~repro.fastpath.loop` and :mod:`~repro.fastpath.node` are
-imported lazily (by ``SimulationEngine.run``) because they reach back
-into :mod:`repro.cluster`; import them by submodule path.
+:mod:`~repro.fastpath.loop`, :mod:`~repro.fastpath.node` and
+:mod:`~repro.fastpath.batch` are imported lazily (by
+``SimulationEngine.run`` / ``repro.runtime.execute``) because they
+reach back into :mod:`repro.cluster`; import them by submodule path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,778 @@
+"""Batched fastpath v2: N independent runs stepped in lockstep.
+
+:mod:`repro.fastpath` amortizes interpreter overhead *within* one run;
+this module amortizes it *across* runs.  Parameter sweeps (fig07's
+max-PWM ladder, the governor comparisons) re-run the same 4-node
+cluster with different knob settings — structurally identical RC
+networks advancing on the same tick schedule.  Stacking them turns
+``N × (tiny matmul + ufunc chain)`` per tick into one ``(N, m, m)``
+stacked matmul and one fused ufunc sequence, the same move ControlPULP
+makes when one controller services many cores in lockstep.
+
+Three layers, each independently testable:
+
+* :class:`BatchedRC` — the general structure-of-arrays stepper over any
+  set of structurally identical :class:`~repro.fastpath.rc.CompiledRC`
+  networks.  Each member keeps its own dirty bookkeeping (its ``_G``
+  becomes a *view* into the ``(N, m, m)`` stack, so its ``_refresh``
+  writes straight through), and members whose stability sub-step count
+  ``n_sub`` disagrees integrate in per-``n_sub`` sub-batches rather
+  than breaking equivalence.
+* :class:`PackageBatch` — the specialized lane for the cluster's
+  die/sink/ambient :class:`~repro.thermal.package.CpuPackage` topology:
+  per-tick coefficient refresh, forcing-vector assembly and the
+  stability predicate are fully vectorized, and free-node temperatures
+  persist in the stack between ticks (the per-tick writeback keeps the
+  node objects current, and nothing else writes them mid-run).
+* :func:`run_fused_batch` / :func:`run_jobs_batch` — the lockstep run
+  loop (mirroring :func:`repro.fastpath.loop.run_fused`'s boundary
+  arithmetic per engine) and the ``Cluster.run_job`` protocol
+  replicated across members.
+
+The equivalence contract is unchanged: every run's traces, events and
+telemetry come out bitwise identical to its own serial fastpath
+execution.  Stacked ``np.matmul`` over ``(N, m, m) @ (N, m, 1)``
+produces the same bits as the per-slice products (einsum does **not**,
+and is not used), elementwise ufuncs are per-element exact, and
+gather/scatter copies are exact — so sub-batching and stacking are
+pure layout changes.  Anything the lockstep path cannot guarantee
+bitwise (an unexpected resistance write, a stability-limit violation,
+budget exhaustion, an engine stop request) raises :class:`Unbatchable`
+and the caller falls back to serial execution, which also reproduces
+the serial path's exact error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .marker import coldpath, hotpath
+from .rc import CompiledRC, compile_network
+
+__all__ = [
+    "BatchedRC",
+    "PackageBatch",
+    "Unbatchable",
+    "batch_signature",
+    "run_fused_batch",
+    "run_jobs_batch",
+]
+
+
+class Unbatchable(Exception):
+    """Lockstep batch execution cannot (or can no longer) proceed.
+
+    Deliberately *not* a :mod:`repro.errors` type: it is internal
+    control flow — callers catch it and fall back to serial execution,
+    which reproduces the serial path's exact results and errors.  It
+    must never escape to users.
+    """
+
+
+def batch_signature(crc: CompiledRC) -> tuple:
+    """The structural identity two networks must share to batch.
+
+    Covers everything that shapes the integration: free-node count,
+    link count, per-row link incidence (in accumulation order), the
+    boundary-coupling terms and each link's endpoint indices.  Values
+    (capacitances, resistances, temperatures, powers) are free to
+    differ — they live in the stacked arrays.
+    """
+    bterm_ids = tuple((i, slot) for i, slot, _ in crc._bterms)
+    rows = tuple(tuple(row) for row in crc._rows)
+    return (crc._m, len(crc._links), rows, bterm_ids, tuple(crc._link_ends))
+
+
+def _raise_diverged_member(k: int) -> None:
+    raise SimulationError(
+        f"thermal integration diverged (non-finite T) in batch member {k}"
+    )
+
+
+class BatchedRC:
+    """Structure-of-arrays stepper over N structurally identical networks.
+
+    Construction rebinds each member's conductance matrix to a slice of
+    the shared ``(N, m, m)`` stack, so the member's own coefficient
+    cache — per-link dirty sets, row rebuilds, the ``n_sub`` stability
+    cache — keeps operating unchanged and writes through to the stack.
+    :meth:`step` then performs the reference ufunc sequence once across
+    all members instead of once per member.
+
+    Use :meth:`release` to detach: members get private copies of their
+    (current) matrix slices back, so serial stepping resumes bitwise
+    where the batch left off.
+    """
+
+    __slots__ = (
+        "_members",
+        "_m",
+        "_Gs",
+        "_Cs",
+        "_Ts",
+        "_Ts_col",
+        "_bs",
+        "_Gt3",
+        "_Gt",
+        "_dTs",
+    )
+
+    def __init__(self, members: Sequence[CompiledRC]) -> None:
+        members = list(members)
+        if not members:
+            raise SimulationError("BatchedRC needs at least one member")
+        signature = batch_signature(members[0])
+        for member in members[1:]:
+            if batch_signature(member) != signature:
+                raise SimulationError(
+                    "BatchedRC members must share an identical network "
+                    "structure (free nodes, link incidence, boundary terms)"
+                )
+        self._members = members
+        m = members[0]._m
+        self._m = m
+        n = len(members)
+        self._Gs = np.zeros((n, m, m), dtype=np.float64)
+        self._Cs = np.empty((n, m), dtype=np.float64)
+        self._Ts = np.empty((n, m), dtype=np.float64)
+        self._bs = np.empty((n, m), dtype=np.float64)
+        self._Gt3 = np.empty((n, m, 1), dtype=np.float64)
+        self._Gt = self._Gt3[:, :, 0]
+        self._dTs = np.empty((n, m), dtype=np.float64)
+        self._Ts_col = self._Ts[:, :, None]
+        for k, member in enumerate(members):
+            self._Gs[k, :, :] = member._G
+            self._Cs[k, :] = member._C
+            # The member's matrix becomes a view into the stack: its
+            # _refresh (row rebuilds, dirty bookkeeping, n_sub cache)
+            # keeps working unchanged and writes straight through.
+            member._G = self._Gs[k]
+
+    @property
+    def members(self) -> Tuple[CompiledRC, ...]:
+        """The attached per-network steppers, in stack order."""
+        return tuple(self._members)
+
+    def release(self) -> None:
+        """Detach: members get private (copied) matrices back.
+
+        The stack rows were maintained by each member's own refresh, so
+        the copies hold exactly the coefficients a serial continuation
+        expects; pending dirty slots survive untouched.
+        """
+        for k, member in enumerate(self._members):
+            member._G = self._Gs[k].copy()
+
+    @hotpath
+    def step(self, dt: float) -> None:
+        """Advance every member by ``dt`` — bitwise as if stepped alone."""
+        members = self._members
+        for member in members:
+            if (
+                dt != member._cached_dt
+                or member._dirty_slots
+                or member._all_dirty
+            ):
+                member._refresh(dt)
+        m = self._m
+        if m == 0:
+            return
+        Ts = self._Ts
+        bs = self._bs
+        k = 0
+        for member in members:
+            T = Ts[k]
+            b = bs[k]
+            free_nodes = member._free_nodes
+            free_names = member._free_names
+            powers = member._powers
+            for i in range(m):
+                T[i] = free_nodes[i].temperature
+                b[i] = powers[free_names[i]]
+            g = member._g
+            for i, slot, bnode in member._bterms:
+                b[i] += g[slot] * bnode.temperature
+            k += 1
+        first = members[0]
+        n_sub = first._n_sub
+        uniform = True
+        for member in members:
+            if member._n_sub != n_sub:
+                uniform = False
+                break
+        if uniform:
+            h = first._h
+            Gs = self._Gs
+            Ts_col = self._Ts_col
+            Gt3 = self._Gt3
+            Gt = self._Gt
+            dTs = self._dTs
+            Cs = self._Cs
+            matmul = np.matmul
+            subtract = np.subtract
+            divide = np.divide
+            multiply = np.multiply
+            add = np.add
+            for _ in range(n_sub):
+                matmul(Gs, Ts_col, out=Gt3)
+                subtract(bs, Gt, out=dTs)
+                divide(dTs, Cs, out=dTs)
+                multiply(dTs, h, out=dTs)
+                add(Ts, dTs, out=Ts)
+        else:
+            self._integrate_grouped()
+        if not np.isfinite(Ts).all():
+            self._raise_diverged()
+        k = 0
+        for member in members:
+            row = Ts[k]
+            item = row.item
+            free_nodes = member._free_nodes
+            for i in range(m):
+                free_nodes[i].temperature = item(i)
+            k += 1
+
+    @coldpath
+    def _integrate_grouped(self) -> None:
+        """Sub-batch integration when members disagree on ``n_sub``.
+
+        Gather → integrate → scatter on index-selected copies.
+        Elementwise copies are bit-exact and the stacked matmul is
+        per-slice exact, so splitting into per-``n_sub`` groups
+        preserves equivalence at the cost of per-tick temporaries —
+        this is the rare path (heterogeneous stability limits), hence
+        ``@coldpath``.
+        """
+        groups: Dict[int, List[int]] = {}
+        for k, member in enumerate(self._members):
+            groups.setdefault(member._n_sub, []).append(k)
+        for n_sub in sorted(groups):
+            picks = groups[n_sub]
+            idx = np.array(picks, dtype=np.intp)
+            h = self._members[picks[0]]._h
+            Gg = self._Gs[idx]
+            Tg = self._Ts[idx]
+            bg = self._bs[idx]
+            Cg = self._Cs[idx]
+            Tg_col = Tg[:, :, None]
+            Gt3 = np.empty_like(Tg_col)
+            Gt = Gt3[:, :, 0]
+            dTg = np.empty_like(Tg)
+            for _ in range(n_sub):
+                np.matmul(Gg, Tg_col, out=Gt3)
+                np.subtract(bg, Gt, out=dTg)
+                np.divide(dTg, Cg, out=dTg)
+                np.multiply(dTg, h, out=dTg)
+                np.add(Tg, dTg, out=Tg)
+            self._Ts[idx] = Tg
+
+    @coldpath
+    def _raise_diverged(self) -> None:
+        for k in range(len(self._members)):
+            if not np.isfinite(self._Ts[k]).all():
+                _raise_diverged_member(k)
+        raise SimulationError("thermal integration diverged (non-finite T)")
+
+
+# --------------------------------------------------------------------------
+# The specialized (vectorized) lane for the cluster's CpuPackage topology.
+# --------------------------------------------------------------------------
+
+#: Serial ``_refresh`` treats diagonals at or below this as degenerate.
+_DIAG_FLOOR = 1e-300
+
+#: CpuPackage structure as CompiledRC flattens it: free nodes are
+#: [die, sink]; link 0 (die↔sink) is the fixed junction/sink
+#: resistance, link 1 (sink↔ambient) is the per-tick convective hop.
+_PACK_ROWS = (((0, 1),), ((0, 0), (1, -1)))
+_PACK_ENDS = ((0, 1), (1, -1))
+
+
+class _DirtyTrap:
+    """Observer installed on batched links while :class:`PackageBatch` owns
+    the integration: any resistance write through the public setter
+    invalidates the whole batch (checked once per tick)."""
+
+    __slots__ = ("tripped",)
+
+    def __init__(self) -> None:
+        self.tripped = False
+
+    def mark_link_dirty(self, slot: int) -> None:
+        self.tripped = True
+
+
+def _raise_trap_tripped() -> None:
+    raise Unbatchable(
+        "a link resistance was written through its public setter during "
+        "batched stepping"
+    )
+
+
+def _raise_substep_needed() -> None:
+    raise Unbatchable(
+        "stability limit requires sub-stepping; the vectorized package "
+        "lane only handles n_sub == 1"
+    )
+
+
+def _raise_stop_requested() -> None:
+    raise Unbatchable("engine requested stop during batched run")
+
+
+class PackageBatch:
+    """Vectorized lockstep stepper over N cluster-node CPU packages.
+
+    Where :class:`BatchedRC` loops over members for fill and refresh,
+    this lane exploits the fixed die/sink/ambient shape: the per-tick
+    inputs (die power, convective resistance, boundary temperature) are
+    written directly into ``(N,)`` columns by the split node closures
+    (:func:`repro.fastpath.node.compile_node_step_split`), the
+    convective conductance and matrix diagonal are recomputed
+    unconditionally each tick (idempotent — recomputing an unchanged
+    ``1/r`` yields the same bits the serial dirty-refresh would have
+    kept), and free-node temperatures persist in the stack between
+    ticks (writeback keeps the node objects current; nothing else
+    writes them mid-run).
+
+    Equivalence guards, enforced every tick, downgrade to
+    :class:`Unbatchable` instead of silently diverging: a resistance
+    write through the public setter (the :class:`_DirtyTrap` observer
+    adopted via :meth:`CompiledRC.adopt_observer`), a matrix diagonal
+    at the degenerate floor, or a stability limit demanding sub-steps
+    (``0.5 · min C/G_ii < dt`` — with the cluster's constants the limit
+    sits ~37x above the 0.05 s physics tick, so this never fires in
+    practice).
+    """
+
+    __slots__ = (
+        "b_die",
+        "conv_r",
+        "amb",
+        "_nodes",
+        "_crcs",
+        "_writes",
+        "_g0",
+        "_g1",
+        "_diag1",
+        "_Cs",
+        "_Cs1",
+        "_lim1",
+        "_lim0_min",
+        "_Ts",
+        "_Ts_col",
+        "_bs",
+        "_b_sink",
+        "_tmp",
+        "_Gs",
+        "_Gt3",
+        "_Gt",
+        "_dTs",
+        "_trap",
+    )
+
+    def __init__(self, nodes: Sequence) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise Unbatchable("package batch needs at least one node")
+        n = len(nodes)
+        self._nodes = nodes
+        self._g0 = np.empty(n, dtype=np.float64)
+        self._g1 = np.empty(n, dtype=np.float64)
+        self._diag1 = np.empty(n, dtype=np.float64)
+        self._Cs = np.empty((n, 2), dtype=np.float64)
+        self._lim1 = np.empty(n, dtype=np.float64)
+        self._Ts = np.empty((n, 2), dtype=np.float64)
+        self._Ts_col = self._Ts[:, :, None]
+        self._bs = np.empty((n, 2), dtype=np.float64)
+        self.b_die = self._bs[:, 0]
+        self._b_sink = self._bs[:, 1]
+        self.conv_r = np.empty(n, dtype=np.float64)
+        self.amb = np.empty(n, dtype=np.float64)
+        self._tmp = np.empty(n, dtype=np.float64)
+        self._Gs = np.zeros((n, 2, 2), dtype=np.float64)
+        self._Gt3 = np.empty((n, 2, 1), dtype=np.float64)
+        self._Gt = self._Gt3[:, :, 0]
+        self._dTs = np.empty((n, 2), dtype=np.float64)
+        self._trap = _DirtyTrap()
+
+        crcs = []
+        writes = []
+        for k, node in enumerate(nodes):
+            package = node.package
+            net = package._net
+            crc = compile_network(net)
+            amb_node = net._nodes[package._amb]
+            if (
+                crc._m != 2
+                or len(crc._links) != 2
+                or crc._free_names != [package._die, package._sink]
+                or tuple(tuple(row) for row in crc._rows) != _PACK_ROWS
+                or tuple(crc._link_ends) != _PACK_ENDS
+                or len(crc._bterms) != 1
+                or crc._bterms[0][0] != 1
+                or crc._bterms[0][1] != 1
+                or crc._bterms[0][2] is not amb_node
+            ):
+                raise Unbatchable(
+                    "node package is not the compiled die/sink/ambient stack"
+                )
+            if crc._links[1] is not package._conv_link:
+                raise Unbatchable("convective link is not at slot 1")
+            if net._powers[package._sink] != 0.0:
+                raise Unbatchable("sink node carries injected power")
+            g0 = 1.0 / crc._links[0]._resistance
+            if not (g0 > _DIAG_FLOOR):
+                raise Unbatchable("junction/sink conductance is degenerate")
+            self._g0[k] = g0
+            self.conv_r[k] = crc._links[1]._resistance
+            self._Cs[k, :] = crc._C
+            die = crc._free_nodes[0]
+            sink = crc._free_nodes[1]
+            self._Ts[k, 0] = die.temperature
+            self._Ts[k, 1] = sink.temperature
+            self.amb[k] = amb_node.temperature
+            # Fixed matrix entries, accumulated exactly as the serial
+            # row rebuild does (row[:] = 0.0 then -= / = writes).
+            self._Gs[k, 0, 0] = g0
+            self._Gs[k, 0, 1] = -g0
+            self._Gs[k, 1, 0] = -g0
+            crcs.append(crc)
+            writes.append((die, sink))
+            crc.adopt_observer(self._trap)
+        self._crcs = crcs
+        self._writes = writes
+        self._Cs1 = self._Cs[:, 1]
+        # Die-row stability limit is fixed (g0 never changes): the
+        # serial lim is C_die / diag0 with diag0 = g0 > _DIAG_FLOOR.
+        lim0 = self._Cs[:, 0] / self._g0
+        self._lim0_min = float(lim0.min())
+
+    def release(self) -> None:
+        """Hand the networks back to their per-network steppers.
+
+        Coefficients were refreshed out-of-band, so each member's cache
+        is stale; ``_all_dirty`` forces the next serial step to rebuild
+        everything from the live resistances (a full refresh is
+        bitwise-deterministic), and link observers return to the
+        per-network stepper.  The node objects themselves are already
+        current — temperatures are written back every tick and the
+        split closures kept ``conv_link._resistance`` live.
+        """
+        for crc in self._crcs:
+            crc.restore_observer()
+            crc._all_dirty = True
+
+    @hotpath
+    def step(self, dt: float) -> None:
+        """One lockstep physics tick across all member packages.
+
+        Call after every member's pre-closure has published this tick's
+        inputs into :attr:`b_die` / :attr:`conv_r` / :attr:`amb`.
+        """
+        if self._trap.tripped:
+            _raise_trap_tripped()
+        g1 = self._g1
+        diag1 = self._diag1
+        np.divide(1.0, self.conv_r, out=g1)
+        np.add(self._g0, g1, out=diag1)
+        self._Gs[:, 1, 1] = diag1
+        # Stability predicate: all members must keep n_sub == 1, i.e.
+        # 0.5 * min_i(C_i / G_ii) >= dt for every member — checked via
+        # the global minimum (exact: 0.5*x is exact scaling).
+        lim1 = self._lim1
+        np.divide(self._Cs1, diag1, out=lim1)
+        lim_min = lim1.min()
+        if self._lim0_min < lim_min:
+            lim_min = self._lim0_min
+        h_max = 0.5 * lim_min
+        if not (h_max >= dt) or not (diag1 > _DIAG_FLOOR).all():
+            _raise_substep_needed()
+        # Forcing vector: b[die] was written by the pre-closures;
+        # b[sink] = 0.0 + g_conv * T_amb, the serial accumulation order.
+        tmp = self._tmp
+        np.multiply(g1, self.amb, out=tmp)
+        np.add(0.0, tmp, out=self._b_sink)
+        # One stacked integration step (n_sub == 1, h == dt exactly).
+        Ts = self._Ts
+        dTs = self._dTs
+        np.matmul(self._Gs, self._Ts_col, out=self._Gt3)
+        np.subtract(self._bs, self._Gt, out=dTs)
+        np.divide(dTs, self._Cs, out=dTs)
+        np.multiply(dTs, dt, out=dTs)
+        np.add(Ts, dTs, out=Ts)
+        if not np.isfinite(Ts).all():
+            self._raise_diverged()
+        k = 0
+        for die, sink in self._writes:
+            row = Ts[k]
+            item = row.item
+            die.temperature = item(0)
+            sink.temperature = item(1)
+            k += 1
+
+    @coldpath
+    def _raise_diverged(self) -> None:
+        for k in range(len(self._nodes)):
+            if not np.isfinite(self._Ts[k]).all():
+                _raise_diverged_member(k)
+        raise SimulationError("thermal integration diverged (non-finite T)")
+
+
+# --------------------------------------------------------------------------
+# The lockstep run loop and the batched run_job protocol.
+# --------------------------------------------------------------------------
+
+
+def run_fused_batch(
+    engines: Sequence,
+    stepper,
+    pres: Sequence[Callable[[float, float], None]],
+    posts: Sequence[Callable[[float, float], None]],
+    limits: Sequence[int],
+    untils: Sequence[Callable[[], bool]],
+) -> List[int]:
+    """Advance ``engines`` in lockstep until at least one ``until`` fires.
+
+    Mirrors :func:`repro.fastpath.loop.run_fused` per engine — the same
+    arithmetically computed task-firing ticks, the same microtick
+    batching between boundaries, ``until`` evaluated after **every**
+    tick — but with one shared physics step: per tick, every engine's
+    pre-closures run (in component registration order), then
+    ``stepper.step(dt)`` integrates all thermal networks at once, then
+    every post-closure runs.  Post-closures emit no events and read
+    only node-local state, so each engine's event/trace streams are
+    bitwise what a solo run would produce.
+
+    ``limits`` are absolute tick ceilings (start tick + ``max_ticks``);
+    reaching one before its ``until`` fires raises :class:`Unbatchable`
+    (the serial rerun then raises the reference ``max_ticks`` error).
+    An engine ``stop()`` request likewise defers to the serial path.
+
+    Returns the indices of the engines whose ``until`` fired on the
+    final tick; callers finalize those and re-enter with the rest.
+    """
+    n = len(engines)
+    clocks = [engine.clock for engine in engines]
+    dt = clocks[0].dt
+    ticks = clocks[0].ticks
+    for clock in clocks:
+        if clock.dt != dt or clock.ticks != ticks:
+            raise Unbatchable("engines disagree on dt or tick count")
+    # Next firing tick per task per engine — run_fused's arithmetic.
+    fires: List[List[int]] = []
+    periods: List[List[int]] = []
+    tasklists = []
+    for engine in engines:
+        efires: List[int] = []
+        eperiods: List[int] = []
+        for task in engine._tasks:
+            period = task._period_ticks
+            phase = task._phase_ticks
+            base = ticks + 1
+            k = (base - phase + period - 1) // period if base > phase else 0
+            efires.append(phase + k * period)
+            eperiods.append(period)
+        fires.append(efires)
+        periods.append(eperiods)
+        tasklists.append(engine._tasks)
+    limit = min(limits)
+    all_pres = tuple(pres)
+    all_posts = tuple(posts)
+    step = stepper.step
+    engine_range = range(n)
+
+    while True:
+        if ticks >= limit:
+            raise Unbatchable("max_ticks exhausted in batched run")
+        # Boundary: the earliest task firing across engines, or the
+        # shared tick ceiling.  Microticks strictly before it cannot
+        # fire any task on any engine.
+        boundary = limit
+        for efires in fires:
+            for fire in efires:
+                if fire < boundary:
+                    boundary = fire
+        stopped: List[int] = []
+        last = boundary - 1
+        while ticks < last:
+            ticks += 1
+            for clock in clocks:
+                clock._ticks = ticks
+            t = ticks * dt
+            for f in all_pres:
+                f(t, dt)
+            step(dt)
+            for f in all_posts:
+                f(t, dt)
+            for i in engine_range:
+                if engines[i]._stop_requested:
+                    _raise_stop_requested()
+                if untils[i]():
+                    stopped.append(i)
+            if stopped:
+                return stopped
+        # The boundary tick: components, then due tasks per engine, in
+        # registration order — exactly the per-engine reference step().
+        ticks += 1
+        for clock in clocks:
+            clock._ticks = ticks
+        t = ticks * dt
+        for f in all_pres:
+            f(t, dt)
+        step(dt)
+        for f in all_posts:
+            f(t, dt)
+        for e in engine_range:
+            efires = fires[e]
+            eperiods = periods[e]
+            tasks = tasklists[e]
+            for i in range(len(tasks)):
+                if efires[i] == ticks:
+                    task = tasks[i]
+                    task.callback(t)
+                    task.fire_count += 1
+                    efires[i] = ticks + eperiods[i]
+        for i in engine_range:
+            if engines[i]._stop_requested:
+                _raise_stop_requested()
+            if untils[i]():
+                stopped.append(i)
+        if stopped:
+            return stopped
+
+
+class _Lane:
+    """One (cluster, job) member of a batched run."""
+
+    __slots__ = ("cluster", "job", "tail", "index", "t0", "limit")
+
+    def __init__(self, cluster, job, timeout: float, tail: float, index: int):
+        self.cluster = cluster
+        self.job = job
+        self.tail = tail
+        self.index = index
+        clock = cluster.engine.clock
+        self.t0 = clock.now
+        self.limit = clock.ticks + clock.ticks_for(timeout)
+
+    def finished(self) -> bool:
+        return self.job.finished
+
+
+def _finalize_lane(lane: _Lane):
+    """The post-run half of ``Cluster.run_job`` for one finished lane."""
+    from ..cluster.cluster import RunResult
+
+    cluster = lane.cluster
+    job = lane.job
+    engine = cluster.engine
+    execution_time = engine.clock.now - lane.t0
+    if lane.tail > 0:
+        try:
+            engine.run(duration=lane.tail)
+        finally:
+            cluster._flush_traces()
+    if cluster.telemetry.enabled:
+        cluster.telemetry.gauge("sim.execution_seconds", job=job.name).set(
+            execution_time
+        )
+        cluster.telemetry.gauge("sim.final_time_seconds").set(
+            engine.clock.now
+        )
+    return RunResult(
+        execution_time=execution_time,
+        traces=cluster.traces,
+        events=cluster.events,
+        average_power=[n.meter.average_power for n in cluster.nodes],
+        energy_joules=[n.meter.energy_joules for n in cluster.nodes],
+        job_name=job.name,
+        node_shutdown=[n.is_shutdown for n in cluster.nodes],
+        retired_cycles=[float(n.core.retired_cycles) for n in cluster.nodes],
+        telemetry=(
+            cluster.telemetry.snapshot() if cluster.telemetry.enabled else None
+        ),
+    )
+
+
+def run_jobs_batch(
+    clusters: Sequence,
+    jobs: Sequence,
+    timeouts: Sequence[float],
+    tails: Sequence[float],
+) -> List:
+    """Run one job per cluster, all clusters advancing in lockstep.
+
+    Replicates the :meth:`~repro.cluster.cluster.Cluster.run_job`
+    protocol per member — bind, wire tasks, reset meters, run to the
+    job's completion under the timeout budget, tail, summarize — with
+    the thermal integration of every node of every cluster stacked
+    into one :class:`PackageBatch`.  When a lane's job finishes the
+    batch is released (members' caches invalidated, observers
+    restored), the lane is finalized serially (its tail, if any, runs
+    through the ordinary fastpath loop), and the remaining lanes
+    re-stack and continue — re-attachment is bitwise-neutral because
+    the stack is rebuilt from the always-current node objects.
+
+    Raises :class:`Unbatchable` whenever lockstep execution cannot
+    guarantee bitwise equivalence or serial error semantics (foreign
+    components, mismatched clocks, budget exhaustion, divergence);
+    callers are expected to fall back to per-spec serial execution.
+    """
+    from ..cluster.node import Node
+    from .node import compile_node_step_split
+
+    n = len(clusters)
+    if not (len(jobs) == len(timeouts) == len(tails) == n):
+        raise Unbatchable("mismatched batch argument lengths")
+    lanes: List[_Lane] = []
+    for i in range(n):
+        cluster = clusters[i]
+        cluster.bind_job(jobs[i])
+        cluster._wire_tasks()
+        for node in cluster.nodes:
+            node.meter.reset()
+        for component in cluster.engine._components:
+            if type(component) is not Node:
+                raise Unbatchable("engine has non-node components")
+        lanes.append(_Lane(cluster, jobs[i], timeouts[i], tails[i], i))
+
+    results: List[Optional[object]] = [None] * n
+    active = list(lanes)
+    while active:
+        engines = [lane.cluster.engine for lane in active]
+        members = [
+            node for lane in active for node in lane.cluster.engine._components
+        ]
+        pack = PackageBatch(members)
+        pres: List[Callable[[float, float], None]] = []
+        posts: List[Callable[[float, float], None]] = []
+        k = 0
+        for lane in active:
+            for node in lane.cluster.engine._components:
+                pre, post = compile_node_step_split(
+                    node, k, pack.b_die, pack.conv_r, pack.amb
+                )
+                pres.append(pre)
+                posts.append(post)
+                k += 1
+        untils = [lane.finished for lane in active]
+        limits = [lane.limit for lane in active]
+        try:
+            stopped = run_fused_batch(
+                engines, pack, pres, posts, limits, untils
+            )
+        finally:
+            pack.release()
+            for lane in active:
+                lane.cluster._flush_traces()
+        for i in stopped:
+            results[active[i].index] = _finalize_lane(active[i])
+        remaining = [
+            lane for i, lane in enumerate(active) if i not in stopped
+        ]
+        active = remaining
+    return results

@@ -33,7 +33,7 @@ from ..thermal.ambient import ConstantAmbient
 from .marker import hotpath
 from .rc import compile_network
 
-__all__ = ["compile_node_step"]
+__all__ = ["compile_node_step", "compile_node_step_split"]
 
 
 def compile_node_step(node: Node) -> Callable[[float, float], None]:
@@ -121,3 +121,115 @@ def compile_node_step(node: Node) -> Callable[[float, float], None]:
         meter_record(wall, dt)
 
     return step
+
+
+def compile_node_step_split(node: Node, index: int, b_die, conv_r, amb_col):
+    """Split :func:`compile_node_step` around the RC integration.
+
+    For batched (lockstep multi-run) execution the thermal solve is
+    hoisted out of the per-node closure so one stacked stepper
+    (:class:`repro.fastpath.batch.PackageBatch`) can integrate every
+    node of every run at once.  The per-tick sequence is cut exactly at
+    the reference closure's ``crc_step(dt)`` call:
+
+    * ``pre(t, dt)`` — everything before the RC step, statement for
+      statement (protection, DVFS/core/power, fan chip/motor/aero, the
+      fused ``CpuPackage.step`` prologue).  Instead of stepping the
+      network it publishes the three per-tick RC inputs into the
+      batch's stacked arrays at ``index``: die power → ``b_die``,
+      convective resistance → ``conv_r``, boundary temperature →
+      ``amb_col``.  The live objects (``conv_link._resistance``,
+      ``amb_node.temperature``, the powers dict) are kept coherent with
+      the same writes the fused closure makes, so a fallback to serial
+      stepping resumes from identical state.
+    * ``post(t, dt)`` — everything after the RC step: wall power and
+      the energy meter.  It emits no events and reads only node-local
+      state, which is what makes interleaving runs at tick granularity
+      order-safe.
+
+    Every floating-point operation, branch and event emission matches
+    the unsplit closure; only the integration moved.
+    """
+    baseboard = node.config.baseboard_power
+    protection = node._protection
+    core = node.core
+    core_step = core.step
+    dvfs = node.dvfs
+    last_pstate = len(dvfs.table) - 1
+    power_fn = node.power_model.power
+    fan_chip = node.fan_chip
+    chip_update = fan_chip.update
+    motor = node.fan_motor
+    motor_set_duty = motor.set_duty
+    motor_step = motor.step
+    aero_airflow = node.fan_aero.airflow
+    aero_power = node.fan_aero.power
+    meter_record = node.meter.record
+
+    package = node.package
+    net = package._net
+    die_node = net._nodes[package._die]
+    amb_node = net._nodes[package._amb]
+    powers = net._powers
+    die_key = package._die
+    conv_resistance = package.convection.resistance
+    conv_link = package._conv_link
+    ambient = package.ambient
+    ambient_temperature = ambient.temperature
+    constant_ambient = (
+        ambient._celsius if type(ambient) is ConstantAmbient else None
+    )
+    # cpu_power / fan_power hand-off from pre to post, written in place.
+    box = [0.0, 0.0]
+
+    @hotpath
+    def pre(t: float, dt: float) -> None:
+        protection(t)
+        if node._shutdown:
+            cpu_power = 0.0
+        else:
+            if node._prochot:
+                dvfs.set_index(last_pstate, t)
+            core_step(t, dt)
+            cpu_power = power_fn(
+                dvfs.pstate, core._utilization, die_node.temperature
+            )
+        node._cpu_power = cpu_power
+        chip_update(die_node.temperature, amb_node.temperature, motor._rpm)
+        motor_set_duty(fan_chip.commanded_duty)
+        motor_step(t, dt)
+        rpm = motor._rpm
+        airflow = aero_airflow(rpm)
+        fan_power = aero_power(rpm)
+        # fused CpuPackage.step, minus the network integration
+        if not (cpu_power >= 0.0):
+            package.set_power(cpu_power)  # raises the reference error
+        package._power = cpu_power
+        package._airflow = airflow
+        r = conv_resistance(airflow)
+        if r != conv_link._resistance:
+            conv_link._resistance = r
+        if constant_ambient is None:
+            amb = float(ambient_temperature(t))
+        else:
+            amb = constant_ambient
+        amb_node.temperature = amb
+        powers[die_key] = cpu_power
+        # publish this tick's RC inputs into the batch stacks
+        b_die[index] = cpu_power
+        conv_r[index] = r
+        amb_col[index] = amb
+        box[0] = cpu_power
+        box[1] = fan_power
+
+    @hotpath
+    def post(t: float, dt: float) -> None:
+        fan_power = box[1]
+        if node._shutdown:
+            wall = 5.0 + fan_power
+        else:
+            wall = baseboard + box[0] + fan_power
+        node._wall_power = wall
+        meter_record(wall, dt)
+
+    return pre, post

@@ -152,6 +152,30 @@ class CompiledRC:
             link._observer = None
             link._slot = -1
 
+    def adopt_observer(self, observer) -> None:
+        """Route this network's link-dirty notifications to ``observer``.
+
+        Used by :mod:`repro.fastpath.batch` while a batch stepper owns
+        the integration: resistance writes through the public
+        :attr:`~repro.thermal.rc.ThermalLink.resistance` setter must
+        reach the *batch* (which holds the live conductance stack), not
+        this stepper's per-network dirty set.  Slots are untouched, so
+        the adopted observer sees the same ``mark_link_dirty(slot)``
+        indices this stepper would.
+        """
+        for link in self._links:
+            link._observer = observer
+
+    def restore_observer(self) -> None:
+        """Re-point link-dirty notifications back at this stepper.
+
+        The inverse of :meth:`adopt_observer`; callers that refreshed
+        coefficients out-of-band must also set ``_all_dirty`` so the
+        next :meth:`step` rebuilds from the live resistances.
+        """
+        for link in self._links:
+            link._observer = self
+
     # -- coefficient refresh ----------------------------------------------
 
     @coldpath

@@ -15,7 +15,7 @@ no ambient entropy — enforced by ``repro.lint`` RPR001).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import List, Mapping, Sequence
 
 from ..cluster.cluster import Cluster, RunResult
 from ..config import ClusterConfig
@@ -23,7 +23,7 @@ from ..errors import ConfigurationError
 from ..telemetry.registry import MetricsRegistry
 from .spec import RunSpec
 
-__all__ = ["execute_spec"]
+__all__ = ["execute_spec", "execute_specs_batch"]
 
 
 def _resolve(registry: Mapping, kind: str, name: str):
@@ -36,8 +36,8 @@ def _resolve(registry: Mapping, kind: str, name: str):
         ) from None
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run the simulation a spec names and return its result.
+def _build_run(spec: RunSpec):
+    """Materialize ``spec`` into a ready-to-run ``(cluster, job)`` pair.
 
     The import of :mod:`repro.experiments.platform` is deferred to call
     time: the experiments layer imports the runtime layer, so the
@@ -66,10 +66,52 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
     make_job = _resolve(registries.WORKLOAD_REGISTRY, "workload", spec.workload)
     job = make_job(cluster, **dict(spec.workload_params))
+    return cluster, job
 
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run the simulation a spec names and return its result."""
+    cluster, job = _build_run(spec)
     if spec.fault is None:
         return cluster.run_job(job, timeout=spec.timeout, tail=spec.tail)
     return _execute_fault(cluster, job, spec)
+
+
+def execute_specs_batch(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Run several specs in lockstep through the batched fastpath.
+
+    Each spec gets its own cluster, job and telemetry registry exactly
+    as :func:`execute_spec` would build them; only the per-tick thermal
+    integration is shared (one stacked solve across every node of every
+    run — see :mod:`repro.fastpath.batch`).  Results are bitwise
+    identical to running each spec through :func:`execute_spec` with
+    ``fastpath=True``, which is what makes it legal for the executor to
+    populate the per-spec content-addressed cache from a batched run.
+
+    Callers are expected to pass specs that group (same workload shape
+    and tick schedule, no fault protocol); anything the lockstep path
+    cannot handle — down to a mid-run divergence or budget exhaustion —
+    makes this function fall back to serial per-spec execution, which
+    also reproduces the serial path's exact error behaviour.
+    """
+    from ..fastpath.batch import run_jobs_batch
+
+    specs = list(specs)
+    if len(specs) < 2:
+        return [execute_spec(spec) for spec in specs]
+    try:
+        pairs = [_build_run(spec) for spec in specs]
+        return run_jobs_batch(
+            clusters=[cluster for cluster, _ in pairs],
+            jobs=[job for _, job in pairs],
+            timeouts=[spec.timeout for spec in specs],
+            tails=[spec.tail for spec in specs],
+        )
+    except Exception:
+        # Anything at all — Unbatchable, a simulation error, a foreign
+        # component — defers to the serial path, which either succeeds
+        # or raises the reference error for the offending spec.
+        return [execute_spec(spec) for spec in specs]
 
 
 def _execute_fault(cluster: Cluster, job, spec: RunSpec) -> RunResult:

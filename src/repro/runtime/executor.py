@@ -41,6 +41,7 @@ mapped spec's telemetry on and keeps the ``(spec, result)`` pairs in
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import pickle
 import time
@@ -52,10 +53,22 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..cluster.cluster import RunResult
 from ..telemetry.registry import MetricsRegistry, SECONDS_BUCKETS
 from ..telemetry.snapshot import TelemetrySnapshot
-from .execute import execute_spec
+from .execute import execute_spec, execute_specs_batch
 from .spec import RunSpec
 
 __all__ = ["ExecutorStats", "RunExecutor", "timed_execute_spec"]
+
+#: Distinguishes executors that share one metrics registry: each gets an
+#: ``executor=<ordinal>`` label on its host-side instruments so two
+#: executors' counters and gauges never collide (process-lifetime
+#: ordinals; host metrics are excluded from deterministic exports).
+_EXECUTOR_IDS = itertools.count()
+
+#: Makes concurrent cache stores from one process collision-free: the
+#: tmp-file name folds in a process-wide sequence number on top of the
+#: pid, so two executors (or threads) storing the same digest never
+#: interleave writes into one tmp file.
+_TMP_IDS = itertools.count()
 
 
 def timed_execute_spec(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -87,13 +100,19 @@ class ExecutorStats:
         "_jobs_effective",
     )
 
-    def __init__(self, registry: MetricsRegistry) -> None:
-        self._executed = registry.counter("host.exec.executed")
-        self._cache_hits = registry.counter("host.cache.hits")
-        self._cache_misses = registry.counter("host.cache.misses")
-        self._deduplicated = registry.counter("host.exec.deduplicated")
-        self._jobs_requested = registry.gauge("host.exec.jobs_requested")
-        self._jobs_effective = registry.gauge("host.exec.jobs_effective")
+    def __init__(self, registry: MetricsRegistry, **labels: object) -> None:
+        self._executed = registry.counter("host.exec.executed", **labels)
+        self._cache_hits = registry.counter("host.cache.hits", **labels)
+        self._cache_misses = registry.counter("host.cache.misses", **labels)
+        self._deduplicated = registry.counter(
+            "host.exec.deduplicated", **labels
+        )
+        self._jobs_requested = registry.gauge(
+            "host.exec.jobs_requested", **labels
+        )
+        self._jobs_effective = registry.gauge(
+            "host.exec.jobs_effective", **labels
+        )
 
     @property
     def executed(self) -> int:
@@ -175,9 +194,23 @@ class RunExecutor:
         (``dataclasses.replace(spec, fastpath=True)``).  Results are
         byte-identical to the reference path, but the flag changes the
         digest, so fastpath runs keep their own cache entries.
+    batch:
+        When True, uncached specs that form batchable groups (same
+        workload shape and tick schedule, differing parameters, no
+        fault protocol — fig07's max-PWM ladder is the exemplar) run
+        in lockstep through :mod:`repro.fastpath.batch` instead of one
+        at a time.  Implies ``fastpath``; every run's result — and the
+        per-spec cache entry written from it — is bitwise identical to
+        its own serial fastpath execution, so the flag affects wall
+        clock only, never results or digests beyond what ``fastpath``
+        already changes.  Groups that cannot batch (singletons, fault
+        specs) fall back to the ordinary per-spec path.
     registry:
         The host-side metrics registry.  Supplied automatically; pass
-        one explicitly to share a registry across executors.
+        one explicitly to share a registry across executors — each
+        executor then labels its ``host.*`` instruments with a unique
+        ``executor=<ordinal>``, so shared-registry stats never
+        cross-contaminate (solo executors keep unlabeled names).
     """
 
     jobs: int = 1
@@ -185,27 +218,37 @@ class RunExecutor:
     cache_version: Optional[str] = None
     telemetry: bool = False
     fastpath: bool = False
+    batch: bool = False
     registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs))
         self.effective_jobs = min(self.jobs, os.cpu_count() or 1)
+        if self.batch:
+            self.fastpath = True
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
         if self.cache_version is None:
             from .. import __version__
 
             self.cache_version = __version__
+        shared_registry = self.registry is not None
         if self.registry is None:
             self.registry = MetricsRegistry()
-        self.stats = ExecutorStats(self.registry)
+        # Per-executor instrument namespace, but only when the caller
+        # opted into sharing: a solo executor keeps the historical
+        # unlabeled names (and byte-identical snapshots).
+        self._labels: Dict[str, object] = (
+            {"executor": next(_EXECUTOR_IDS)} if shared_registry else {}
+        )
+        self.stats = ExecutorStats(self.registry, **self._labels)
         self.stats._jobs_requested.set(float(self.jobs))
         self.stats._jobs_effective.set(float(self.effective_jobs))
         #: ``(spec, result)`` pairs accumulated across map() calls when
         #: ``telemetry=True`` (primary specs only; duplicates collapse).
         self.collected: List[Tuple[RunSpec, RunResult]] = []
         self._wall_hist = self.registry.histogram(
-            "host.spec.wall_seconds", buckets=SECONDS_BUCKETS
+            "host.spec.wall_seconds", buckets=SECONDS_BUCKETS, **self._labels
         )
 
     # -- public API ------------------------------------------------------
@@ -214,20 +257,25 @@ class RunExecutor:
         """Run (or fetch) a single spec."""
         return self.map([spec])[0]
 
-    def map(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def map(
+        self, specs: Sequence[RunSpec], batch: Optional[bool] = None
+    ) -> List[RunResult]:
         """Run every spec, returning results in spec order.
 
         Cached results are loaded first; the remaining specs run
-        serially (``jobs=1``) or across a process pool, then populate
-        the cache.  Duplicate specs execute once.
+        serially (``jobs=1``), across a process pool, or — with
+        ``batch`` (argument overrides the constructor flag) — in
+        lockstep groups through the batched fastpath.  Either way they
+        then populate the cache.  Duplicate specs execute once.
         """
+        use_batch = self.batch if batch is None else batch
         specs = list(specs)
         if self.telemetry:
             specs = [
                 s if s.telemetry else dataclasses.replace(s, telemetry=True)
                 for s in specs
             ]
-        if self.fastpath:
+        if self.fastpath or use_batch:
             specs = [
                 s if s.fastpath else dataclasses.replace(s, fastpath=True)
                 for s in specs
@@ -250,7 +298,11 @@ class RunExecutor:
                 pending.append(i)
 
         if pending:
-            fresh = self._execute_all([specs[i] for i in pending])
+            pending_specs = [specs[i] for i in pending]
+            if use_batch:
+                fresh = self._execute_batched(pending_specs)
+            else:
+                fresh = self._execute_all(pending_specs)
             for i, (result, wall_seconds) in zip(pending, fresh):
                 results[i] = result
                 self._wall_hist.observe(wall_seconds)
@@ -284,12 +336,82 @@ class RunExecutor:
     ) -> List[Tuple[RunResult, float]]:
         """Run specs serially or across the process pool."""
         workers = min(self.effective_jobs, len(specs))
-        self.registry.gauge("host.exec.workers").set(float(workers))
+        self.registry.gauge("host.exec.workers", **self._labels).set(
+            float(workers)
+        )
         if workers <= 1:
             return [timed_execute_spec(spec) for spec in specs]
-        self.registry.counter("host.exec.pool_batches").inc()
+        self.registry.counter("host.exec.pool_batches", **self._labels).inc()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(timed_execute_spec, specs))
+
+    @staticmethod
+    def _batch_key(spec: RunSpec):
+        """The identity batchable specs must share, or ``None``.
+
+        Lockstep runs must advance on the same tick schedule with the
+        same run protocol — workload shape, node count, rig families,
+        ambient model, timeout/tail and telemetry mode — while seeds
+        and rig *parameters* are free to differ (that is the whole
+        point of a sweep).  Fault specs never batch (their protocol is
+        not a single ``run_job``), and non-fastpath specs never batch
+        (batching is defined as lockstep *fastpath* execution).
+        """
+        if spec.fault is not None or not spec.fastpath:
+            return None
+        return (
+            spec.workload,
+            spec.workload_params,
+            spec.n_nodes,
+            tuple(rig.name for rig in spec.rigs),
+            spec.ambient,
+            spec.timeout,
+            spec.tail,
+            spec.telemetry,
+        )
+
+    def _execute_batched(
+        self, specs: List[RunSpec]
+    ) -> List[Tuple[RunResult, float]]:
+        """Run specs in lockstep groups; leftovers take the normal path.
+
+        Per-spec wall time inside a lockstep group is not individually
+        observable (the runs interleave at tick granularity), so each
+        member is attributed an equal share of its group's wall clock —
+        the histogram's count stays one observation per executed spec
+        and its sum stays the true total.
+        """
+        groups: Dict[tuple, List[int]] = {}
+        singles: List[int] = []
+        for i, spec in enumerate(specs):
+            key = self._batch_key(spec)
+            if key is None:
+                singles.append(i)
+            else:
+                groups.setdefault(key, []).append(i)
+        out: List[Optional[Tuple[RunResult, float]]] = [None] * len(specs)
+        for members in groups.values():
+            if len(members) < 2:
+                singles.extend(members)
+                continue
+            started = time.perf_counter()
+            results = execute_specs_batch([specs[i] for i in members])
+            share = (time.perf_counter() - started) / len(members)
+            for i, result in zip(members, results):
+                out[i] = (result, share)
+            self.registry.counter(
+                "host.exec.batch_groups", **self._labels
+            ).inc()
+            self.registry.counter(
+                "host.exec.batched_specs", **self._labels
+            ).inc(len(members))
+        singles.sort()
+        if singles:
+            for i, pair in zip(singles, self._execute_all(
+                [specs[i] for i in singles]
+            )):
+                out[i] = pair
+        return out
 
     # -- cache -----------------------------------------------------------
 
@@ -312,9 +434,12 @@ class RunExecutor:
     def _cache_store(self, spec: RunSpec, result: RunResult) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._cache_path(spec)
-        # Write-then-rename so concurrent processes never observe a
+        # Write-then-rename so concurrent writers never observe a
         # partial pickle (os.replace is atomic on POSIX and Windows).
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # The tmp name folds in a process-wide sequence number: a
+        # pid-only suffix let two executors (or threads) in one process
+        # interleave writes into the same tmp file.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_IDS)}")
         with tmp.open("wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)

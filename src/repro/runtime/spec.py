@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
@@ -48,8 +49,27 @@ def _freeze_value(value: Any) -> Any:
     if isinstance(value, Mapping):
         return tuple(sorted((str(k), _freeze_value(v)) for k, v in value.items()))
     if isinstance(value, (list, tuple, set, frozenset)):
-        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        if isinstance(value, (set, frozenset)):
+            try:
+                items = sorted(value)
+            except TypeError:
+                # A mixed-type set has no canonical order, so it has no
+                # canonical (digest-stable) frozen form.
+                raise ConfigurationError(
+                    f"spec parameter set {value!r} mixes unorderable "
+                    "types; sets must be uniformly orderable to freeze "
+                    "deterministically"
+                ) from None
+        else:
+            items = value
         return tuple(_freeze_value(v) for v in items)
+    if isinstance(value, float) and not math.isfinite(value):
+        # nan breaks spec equality/dedup (nan != nan) and both nan and
+        # inf have no strict-JSON token in canonical().
+        raise ConfigurationError(
+            f"spec parameter value {value!r} is not finite; specs must "
+            "be built from finite numbers"
+        )
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise ConfigurationError(

@@ -1,0 +1,417 @@
+"""Batched fastpath equivalence: lockstep runs == serial fastpath, bitwise.
+
+Three layers of the batch stack, each pinned against its serial
+counterpart:
+
+* :class:`repro.fastpath.batch.BatchedRC` against per-network
+  :class:`repro.fastpath.rc.CompiledRC` stepping — randomized networks,
+  mid-run mutations, heterogeneous ``n_sub`` sub-batching, and the
+  release-then-continue-serially contract;
+* :func:`repro.runtime.execute.execute_specs_batch` /
+  ``RunExecutor(batch=True)`` against the serial fastpath executor —
+  full sweep results (tables, curves, traces, cache entries, telemetry
+  bytes);
+* the :func:`repro.fastpath.loop.run_fused` edge cases the batch loop
+  shares semantics with (budget landing exactly on a task boundary,
+  zero-task engines, far task phases), pinned against the reference
+  engine loop.
+
+The serial fastpath is itself pinned byte-identical to the reference
+path by ``tests/test_fastpath_equivalence.py``, so equality against the
+serial fastpath here is transitively equality against the reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import REGISTRY
+from repro.experiments.series import SERIES_REGISTRY
+from repro.fastpath import compile_network
+from repro.fastpath.batch import BatchedRC, Unbatchable, batch_signature
+from repro.runtime import RunExecutor, RunSpec
+from repro.runtime.spec import FaultSpec
+from repro.runtime.execute import execute_spec, execute_specs_batch
+from repro.sim.engine import Component, SimulationEngine
+from repro.thermal.rc import RCNetwork, ThermalLink, ThermalNode
+
+SEED = 7
+
+
+# ------------------------------------------------------------- BatchedRC
+
+
+def build_network(seed: int, c_scale: float = 1.0) -> RCNetwork:
+    """A fixed-structure, random-parameter chain with one boundary node.
+
+    All instances share the structure (so they batch) while every
+    capacitance, temperature, resistance and power differs per seed —
+    the sweep shape the batch stepper exists for.
+    """
+    rng = random.Random(seed)
+    net = RCNetwork()
+    names = []
+    for i in range(4):
+        net.add_node(
+            ThermalNode(
+                f"m{i}",
+                rng.uniform(5.0, 50.0) * c_scale,
+                rng.uniform(20.0, 80.0),
+            )
+        )
+        names.append(f"m{i}")
+    net.add_node(ThermalNode("amb", None, rng.uniform(15.0, 45.0)))
+    for i in range(1, 4):
+        net.add_link(
+            ThermalLink(
+                f"chain{i}", names[i - 1], names[i], rng.uniform(0.05, 0.5)
+            )
+        )
+    net.add_link(ThermalLink("sinklink", "m3", "amb", rng.uniform(0.05, 0.5)))
+    for name in names:
+        net.set_power(name, rng.uniform(0.0, 30.0))
+    return net
+
+
+def assert_networks_equal(serial_nets, batch_nets) -> None:
+    for k, (snet, bnet) in enumerate(zip(serial_nets, batch_nets)):
+        for name in snet.node_names:
+            a = snet.temperature(name)
+            b = bnet.temperature(name)
+            assert a == b and np.float64(a).tobytes() == np.float64(
+                b
+            ).tobytes(), f"member {k}, node {name}: {a!r} != {b!r}"
+
+
+@pytest.mark.parametrize("case_seed", range(6))
+def test_batched_rc_matches_serial_bitwise(case_seed: int) -> None:
+    """N stacked networks step bitwise like N solo compiled networks."""
+    members = 5
+    serial_nets = [build_network(100 * case_seed + k) for k in range(members)]
+    batch_nets = [build_network(100 * case_seed + k) for k in range(members)]
+    serial_crcs = [compile_network(net) for net in serial_nets]
+    batch = BatchedRC([compile_network(net) for net in batch_nets])
+
+    rng = random.Random(1000 + case_seed)
+    dt = rng.choice([0.01, 0.05, 0.2])
+    for tick in range(200):
+        if rng.random() < 0.1:
+            # Mutate one member's link mid-run through the public
+            # setter — only that member's coefficients may refresh.
+            k = rng.randrange(members)
+            name = rng.choice(list(serial_nets[k]._links))
+            r = rng.uniform(0.05, 0.5)
+            serial_nets[k].link(name).resistance = r
+            batch_nets[k].link(name).resistance = r
+        for crc in serial_crcs:
+            crc.step(dt)
+        batch.step(dt)
+        assert_networks_equal(serial_nets, batch_nets)
+
+
+def test_batched_rc_groups_heterogeneous_n_sub() -> None:
+    """Members with different stability limits sub-batch, not diverge."""
+    scales = [1.0, 1e-3, 1.0, 1e-4, 1e-3]
+    serial_nets = [build_network(7 + i, s) for i, s in enumerate(scales)]
+    batch_nets = [build_network(7 + i, s) for i, s in enumerate(scales)]
+    serial_crcs = [compile_network(net) for net in serial_nets]
+    batch = BatchedRC([compile_network(net) for net in batch_nets])
+    for _ in range(100):
+        for crc in serial_crcs:
+            crc.step(0.05)
+        batch.step(0.05)
+        assert_networks_equal(serial_nets, batch_nets)
+    # The point of the test: the members really did disagree on n_sub.
+    assert len({crc._n_sub for crc in serial_crcs}) > 1
+
+
+def test_batched_rc_release_continues_serially() -> None:
+    """After release(), members step on their own — still bitwise."""
+    serial_nets = [build_network(50 + k) for k in range(4)]
+    batch_nets = [build_network(50 + k) for k in range(4)]
+    serial_crcs = [compile_network(net) for net in serial_nets]
+    batch_crcs = [compile_network(net) for net in batch_nets]
+    batch = BatchedRC(batch_crcs)
+    for _ in range(60):
+        for crc in serial_crcs:
+            crc.step(0.05)
+        batch.step(0.05)
+    batch.release()
+    for _ in range(60):
+        for serial_crc, batch_crc in zip(serial_crcs, batch_crcs):
+            serial_crc.step(0.05)
+            batch_crc.step(0.05)
+        assert_networks_equal(serial_nets, batch_nets)
+
+
+def test_batched_rc_rejects_structural_mismatch() -> None:
+    matching = build_network(1)
+    different = RCNetwork()
+    different.add_node(ThermalNode("a", 10.0, 30.0))
+    different.add_node(ThermalNode("amb", None, 25.0))
+    different.add_link(ThermalLink("l", "a", "amb", 0.5))
+    assert batch_signature(compile_network(matching)) != batch_signature(
+        compile_network(different)
+    )
+    with pytest.raises(SimulationError, match="identical network structure"):
+        BatchedRC([compile_network(matching), compile_network(different)])
+
+
+# --------------------------------------------- run_fused edge cases (loop)
+
+
+class Accumulator(Component):
+    """Counts steps at each tick time."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.calls = []
+
+    def step(self, t: float, dt: float) -> None:
+        self.calls.append(t)
+
+
+def engines_pair():
+    return SimulationEngine(dt=0.05), SimulationEngine(dt=0.05, fastpath=True)
+
+
+def test_fused_budget_expires_exactly_on_task_boundary() -> None:
+    """max_ticks landing on a firing tick: the task fires, then the
+    budget error raises — identically on both loops."""
+    results = []
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        fires = []
+        engine.every(0.5, fires.append)  # fires every 10 ticks
+        with pytest.raises(SimulationError, match="max_ticks=10 exhausted"):
+            engine.run(duration=100.0, max_ticks=10)
+        results.append(
+            (comp.calls, fires, engine.clock.ticks, engine._tasks[0].fire_count)
+        )
+    assert results[0] == results[1]
+    assert results[0][3] == 1  # the boundary tick's firing happened
+
+
+def test_fused_zero_task_engine_runs_to_deadline() -> None:
+    """No tasks: the fused loop's no-boundary sentinel still honors the
+    deadline and leaves the clock identical to the reference."""
+    results = []
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        engine.run(duration=2.0)
+        results.append((comp.calls, engine.clock.ticks))
+    assert results[0] == results[1]
+    assert results[0][1] == 40
+
+
+def test_fused_zero_task_engine_until_only() -> None:
+    """No tasks, until-only: both loops stop on the same tick."""
+    results = []
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        engine.run(until=lambda: len(comp.calls) >= 23, max_ticks=1000)
+        results.append((comp.calls, engine.clock.ticks))
+    assert results[0] == results[1]
+    assert results[0][1] == 23
+
+
+def test_fused_task_phase_beyond_first_batch_boundary() -> None:
+    """A phase larger than another task's period: firings interleave
+    across batch boundaries identically on both loops."""
+    results = []
+    for engine in engines_pair():
+        comp = engine.add_component(Accumulator("a"))
+        early, late = [], []
+        engine.every(0.25, early.append)  # every 5 ticks
+        engine.every(1.0, late.append, phase=2.35)  # first fires at tick 47
+        engine.run(duration=5.0)
+        results.append(
+            (
+                comp.calls,
+                early,
+                late,
+                [task.fire_count for task in engine._tasks],
+            )
+        )
+    assert results[0] == results[1]
+    assert results[0][2][0] == pytest.approx(2.35)
+
+
+# -------------------------------------------------- executor batch path
+
+
+def fig07_specs():
+    module, _ = REGISTRY["fig7"]
+    return module.specs(seed=SEED, quick=True)
+
+
+def assert_results_identical(a, b) -> None:
+    assert a.execution_time == b.execution_time
+    assert a.job_name == b.job_name
+    assert a.average_power == b.average_power
+    assert a.energy_joules == b.energy_joules
+    assert a.node_shutdown == b.node_shutdown
+    assert a.retired_cycles == b.retired_cycles
+    assert len(a.events) == len(b.events)
+    for x, y in zip(a.events, b.events):
+        assert str(x) == str(y)
+    a_traces, b_traces = a.traces._traces, b.traces._traces
+    assert set(a_traces) == set(b_traces)
+    for key in a_traces:
+        ta, tb = a_traces[key], b_traces[key]
+        assert np.asarray(ta.times).tobytes() == np.asarray(tb.times).tobytes()
+        assert (
+            np.asarray(ta.values).tobytes() == np.asarray(tb.values).tobytes()
+        )
+
+
+def test_execute_specs_batch_bitwise_identical_fig07() -> None:
+    """The exemplar sweep: every run out of the lockstep batch equals
+    its own serial fastpath execution down to trace bytes."""
+    specs = [
+        dataclasses.replace(spec, fastpath=True) for spec in fig07_specs()
+    ]
+    serial = [execute_spec(spec) for spec in specs]
+    batched = execute_specs_batch(specs)
+    for a, b in zip(serial, batched):
+        assert_results_identical(a, b)
+
+
+def test_execute_specs_batch_single_spec_falls_back() -> None:
+    spec = dataclasses.replace(fig07_specs()[0], fastpath=True)
+    (result,) = execute_specs_batch([spec])
+    assert_results_identical(execute_spec(spec), result)
+
+
+def test_batch_executor_counts_groups_and_populates_cache(tmp_path) -> None:
+    specs = fig07_specs()
+    executor = RunExecutor(batch=True, cache_dir=tmp_path)
+    executor.map(specs)
+    assert executor.fastpath  # batch implies fastpath
+    assert executor.stats.executed == len(specs)
+    assert executor.stats.cache_misses == len(specs)
+    assert executor.registry.counter("host.exec.batch_groups").value == 1.0
+    assert executor.registry.counter("host.exec.batched_specs").value == float(
+        len(specs)
+    )
+    # Each spec got its own cache entry, readable by a plain fastpath
+    # executor — and bitwise equal to a fresh serial run.
+    serial = RunExecutor(fastpath=True, cache_dir=tmp_path)
+    cached = serial.map(specs)
+    assert serial.stats.cache_hits == len(specs)
+    fresh = RunExecutor(fastpath=True)
+    for a, b in zip(fresh.map(specs), cached):
+        assert_results_identical(a, b)
+
+
+def test_batch_executor_mixed_group_sizes(tmp_path) -> None:
+    """Batchable group + a singleton + a fault spec in one map call."""
+    specs = list(fig07_specs())
+    singleton = RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": 20.0},
+        rigs=["dynamic_fan"],
+        n_nodes=2,
+        seed=SEED,
+        timeout=120.0,
+    )
+    fault = RunSpec.of(
+        "mixed_thermal_profile",
+        {"duration": 20.0},
+        rigs=["dynamic_fan"],
+        n_nodes=2,
+        seed=SEED,
+        timeout=120.0,
+        fault=FaultSpec(kind="fan_fail", node=0, at=5.0, horizon=15.0),
+    )
+    mixed = [specs[0], singleton, specs[1], fault, specs[2], specs[3]]
+    batch_exec = RunExecutor(batch=True)
+    serial_exec = RunExecutor(fastpath=True)
+    batched = batch_exec.map(mixed)
+    serial = serial_exec.map(mixed)
+    for a, b in zip(serial, batched):
+        assert_results_identical(a, b)
+    # Only the four fig07 specs formed a group; the rest ran solo.
+    assert (
+        batch_exec.registry.counter("host.exec.batched_specs").value == 4.0
+    )
+    assert batch_exec.stats.executed == len(mixed)
+
+
+def test_map_batch_argument_overrides_constructor() -> None:
+    specs = fig07_specs()
+    executor = RunExecutor(fastpath=True)
+    executor.map(specs, batch=True)
+    assert executor.registry.counter("host.exec.batch_groups").value == 1.0
+
+
+# ------------------------------------- full sweep gates through the batch
+
+
+@pytest.fixture(scope="module")
+def executors():
+    return RunExecutor(jobs=1, fastpath=True), RunExecutor(jobs=1, batch=True)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_quick_tables_match_through_batch(name: str, executors) -> None:
+    """Every experiment renders the identical quick-mode table whether
+    its specs ran serially or through lockstep batch groups.  (The
+    serial fastpath table equals the reference table per
+    test_fastpath_equivalence.py, so this pin is transitive.)"""
+    serial, batched = executors
+    module, _ = REGISTRY[name]
+    serial_table = module.render(
+        module.run(seed=SEED, quick=True, executor=serial)
+    )
+    batch_table = module.render(
+        module.run(seed=SEED, quick=True, executor=batched)
+    )
+    assert batch_table == serial_table
+
+
+def _curve_hashes(curves) -> dict:
+    hashes = {}
+    for label, (times, values) in curves.items():
+        digest = hashlib.sha256()
+        digest.update(np.asarray(times, dtype=np.float64).tobytes())
+        digest.update(np.asarray(values, dtype=np.float64).tobytes())
+        hashes[label] = digest.hexdigest()
+    return hashes
+
+
+@pytest.mark.parametrize("figure", sorted(SERIES_REGISTRY))
+def test_series_curve_hashes_match_through_batch(figure, executors) -> None:
+    """Every figure's raw curves hash identically through the batch."""
+    serial, batched = executors
+    make = SERIES_REGISTRY[figure]
+    serial_hashes = _curve_hashes(make(seed=SEED, quick=True, executor=serial))
+    batch_hashes = _curve_hashes(
+        make(seed=SEED, quick=True, executor=batched)
+    )
+    assert batch_hashes == serial_hashes
+
+
+def test_telemetry_jsonl_byte_identical_through_batch() -> None:
+    """Per-run telemetry exported from a batched sweep is byte-equal to
+    the serial fastpath export (same digests — batch is not spec-level)."""
+    from repro.telemetry import export_jsonl
+
+    specs = fig07_specs()
+    serial = RunExecutor(telemetry=True, fastpath=True)
+    batched = RunExecutor(telemetry=True, batch=True)
+    serial.map(specs)
+    batched.map(specs)
+    assert export_jsonl(batched.collected) == export_jsonl(serial.collected)
+
+
+def test_unbatchable_is_internal() -> None:
+    """Unbatchable is plain control flow, never a user-facing error."""
+    assert not issubclass(Unbatchable, SimulationError)

@@ -218,3 +218,88 @@ def test_default_executor_is_telemetry_free() -> None:
     result = executor.run(specs_pair()[0])
     assert result.telemetry is None
     assert executor.collected == []
+
+
+# --------------------------------------------- concurrent cache stores
+
+
+def test_cache_store_tmp_names_never_collide(tmp_path, monkeypatch) -> None:
+    """Two executors in one process storing the same digest must write
+    through distinct tmp files (a pid-only suffix let their writes
+    interleave into one file)."""
+    spec = specs_pair()[0]
+    result = RunExecutor().run(spec)
+    first = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    second = RunExecutor(cache_dir=tmp_path, cache_version="v1")
+    tmp_names = []
+    real_replace = os.replace
+
+    def recording_replace(src, dst):
+        tmp_names.append(str(src))
+        real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", recording_replace)
+    first._cache_store(spec, result)
+    second._cache_store(spec, result)
+    assert len(tmp_names) == 2
+    assert tmp_names[0] != tmp_names[1]
+    # Both renamed into the same final entry, which loads cleanly.
+    assert_results_equal(first._cache_load(spec), result)
+    assert not list(tmp_path.glob("*.tmp.*"))  # nothing left behind
+
+
+def test_concurrent_cache_stores_share_a_dir(tmp_path) -> None:
+    """Thread-interleaved stores of the same digest stay uncorrupted."""
+    import threading
+
+    spec = specs_pair()[0]
+    result = RunExecutor().run(spec)
+    executors = [
+        RunExecutor(cache_dir=tmp_path, cache_version="v1") for _ in range(2)
+    ]
+
+    def hammer(executor):
+        for _ in range(25):
+            executor._cache_store(spec, result)
+
+    threads = [
+        threading.Thread(target=hammer, args=(e,)) for e in executors
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert_results_equal(executors[0]._cache_load(spec), result)
+    assert not list(tmp_path.glob("*.tmp.*"))
+
+
+# ------------------------------------------------- shared registries
+
+
+def test_shared_registry_keeps_executor_stats_independent() -> None:
+    """Two executors on one registry must not clobber each other's
+    gauges or cross-contaminate counters (each gets an executor label)."""
+    from repro.telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    first = RunExecutor(jobs=1, registry=registry)
+    second = RunExecutor(jobs=3, registry=registry)
+    # The second executor's construction must not overwrite the first's
+    # jobs gauges (the historical bug: last writer won).
+    assert first.stats.jobs_requested == 1
+    assert second.stats.jobs_requested == 3
+    first.map(specs_pair())
+    assert first.stats.executed == 2
+    assert second.stats.executed == 0  # untouched by the other's work
+
+
+def test_solo_executor_keeps_unlabeled_metrics() -> None:
+    """Without an explicit registry the instrument names are unchanged
+    (pinned snapshots and stats stay byte-compatible)."""
+    executor = RunExecutor()
+    executor.map(specs_pair()[:1])
+    snapshot = executor.registry.snapshot()
+    assert snapshot.get("host.exec.executed") is not None
+    assert snapshot.get("host.exec.jobs_requested") is not None
+    labels = {s.labels for s in snapshot if s.name.startswith("host.exec.")}
+    assert labels == {()}

@@ -171,3 +171,29 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path) -> None:
     executor.run(spec)
     assert executor.stats.executed == 1
     assert executor.stats.cache_hits == 0
+
+
+def test_freeze_params_rejects_mixed_type_sets() -> None:
+    """A mixed-type set has no canonical order — ConfigurationError,
+    not the bare TypeError sorted() used to leak."""
+    with pytest.raises(ConfigurationError, match="unorderable"):
+        freeze_params({"tags": {1, "a"}})
+    # Uniformly orderable sets still freeze (sorted, deterministic).
+    assert freeze_params({"sizes": {8, 4}}) == (("sizes", (4, 8)),)
+
+
+def test_freeze_params_rejects_non_finite_floats() -> None:
+    """nan breaks equality/dedup and neither nan nor inf has a strict
+    JSON token, so both are configuration errors — at any nesting."""
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ConfigurationError, match="not finite"):
+            freeze_params({"x": bad})
+        with pytest.raises(ConfigurationError, match="not finite"):
+            freeze_params({"xs": [1.0, bad]})
+        with pytest.raises(ConfigurationError, match="not finite"):
+            freeze_params({"nested": {"deep": (bad,)}})
+
+
+def test_non_finite_floats_rejected_at_spec_construction() -> None:
+    with pytest.raises(ConfigurationError, match="not finite"):
+        RunSpec.of("mixed_thermal_profile", {"duration": float("nan")})
