@@ -54,6 +54,13 @@ from .core import (
     UnifiedThermalController,
 )
 from .errors import ReproError
+from .platform import (
+    DEFAULT_PLATFORM,
+    PLATFORM_REGISTRY,
+    CoreClass,
+    PlatformSpec,
+    resolve_platform,
+)
 from .telemetry import (
     MetricsRegistry,
     TelemetrySnapshot,
@@ -75,6 +82,11 @@ __all__ = [
     "RunExecutor",
     "ClusterConfig",
     "NodeConfig",
+    "CoreClass",
+    "PlatformSpec",
+    "PLATFORM_REGISTRY",
+    "DEFAULT_PLATFORM",
+    "resolve_platform",
     "MetricsRegistry",
     "Policy",
     "TelemetrySnapshot",

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, List, Optional
 
 from .experiments import REGISTRY
+from .platform import PLATFORM_REGISTRY
 from .runtime import DEFAULT_SEED, RunExecutor
 from .telemetry import (
     EXPORTER_FORMATS,
@@ -148,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
             "byte-identical)"
         ),
     )
+    run_p.add_argument(
+        "--platform",
+        choices=sorted(PLATFORM_REGISTRY),
+        default=None,
+        metavar="NAME",
+        help=(
+            "silicon to simulate (platform registry key; default: the "
+            "paper's Athlon64 testbed via the exact historical path). "
+            f"Choices: {', '.join(sorted(PLATFORM_REGISTRY))}"
+        ),
+    )
 
     tel_p = sub.add_parser(
         "telemetry",
@@ -234,6 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run batchable sweep groups in lockstep through the batched "
             "fastpath (implies --fastpath)"
+        ),
+    )
+    series_p.add_argument(
+        "--platform",
+        choices=sorted(PLATFORM_REGISTRY),
+        default=None,
+        metavar="NAME",
+        help=(
+            "silicon to simulate (platform registry key; default: the "
+            "paper's Athlon64 testbed via the exact historical path)"
         ),
     )
 
@@ -340,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             fastpath=args.fastpath,
             batch=args.batch,
+            platform=args.platform,
         )
         curves = SERIES_REGISTRY[args.figure](
             seed=args.seed, quick=args.quick, executor=executor
@@ -362,6 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry=args.telemetry is not None,
         fastpath=args.fastpath,
         batch=args.batch,
+        platform=args.platform,
     )
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:

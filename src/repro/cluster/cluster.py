@@ -130,6 +130,11 @@ class Cluster:
         step compiler and the sensor task records through pre-resolved
         trace handles and block writers.  Results (traces, events,
         telemetry) are byte-identical to the reference path.
+    platform:
+        Optional :class:`~repro.platform.spec.PlatformSpec` this
+        cluster's node config was derived from.  Carried so rigging
+        helpers can scale policies to the platform's safe band; when
+        None (the default) riggings use the paper's band unchanged.
     """
 
     def __init__(
@@ -138,18 +143,26 @@ class Cluster:
         ambient_factory=None,
         telemetry: Optional[MetricsRegistry] = None,
         fastpath: bool = False,
+        platform=None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
         self.fastpath = bool(fastpath)
+        self.platform = platform
         self._writers: list = []
         self.rngs = RngStreams(self.config.seed)
         self.engine = SimulationEngine(dt=self.config.dt, fastpath=self.fastpath)
         self.events: EventLog = self.engine.events
         self.traces: TraceSet = self.engine.traces
         self.nodes: List[Node] = []
+        if self.config.node.floorplan is None:
+            node_cls = Node
+        else:
+            from .multicore_node import MulticoreNode
+
+            node_cls = MulticoreNode
         for i in range(self.config.n_nodes):
-            node = Node(
+            node = node_cls(
                 name=f"node{i}",
                 config=self.config.node,
                 events=self.events,

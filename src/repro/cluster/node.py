@@ -78,20 +78,7 @@ class Node(Component):
         self.ambient = (
             ambient if ambient is not None else ConstantAmbient(cfg.ambient_celsius)
         )
-        self.package = CpuPackage(
-            params=cfg.package,
-            convection=cfg.convection,
-            ambient=self.ambient,
-            name=f"{name}.pkg",
-        )
-        self.dvfs = Dvfs(
-            table=cfg.pstates,
-            transition_latency=cfg.dvfs_latency,
-            events=events,
-            name=f"{name}.dvfs",
-        )
-        self.core = CpuCore(self.dvfs, name=f"{name}.core")
-        self.power_model = CpuPowerModel(cfg.power)
+        self._build_compute(cfg, name, events)
         self.sensor = ThermalSensor(self.package, params=cfg.sensor, rng=rng)
 
         # Out-of-band path: i2c bus -> ADT7467 -> motor -> aero.
@@ -113,6 +100,28 @@ class Node(Component):
         self._shutdown = False
 
     # -- wiring -----------------------------------------------------------
+
+    def _build_compute(self, cfg: NodeConfig, name: str, events) -> None:
+        """Construct the package/DVFS/core/power-model quartet.
+
+        The single-core reference wiring; subclasses (the multicore
+        node) override this to build their own compute complex while
+        inheriting the fan, sensor and protection wiring unchanged.
+        """
+        self.package = CpuPackage(
+            params=cfg.package,
+            convection=cfg.convection,
+            ambient=self.ambient,
+            name=f"{name}.pkg",
+        )
+        self.dvfs = Dvfs(
+            table=cfg.pstates,
+            transition_latency=cfg.dvfs_latency,
+            events=events,
+            name=f"{name}.dvfs",
+        )
+        self.core = CpuCore(self.dvfs, name=f"{name}.core")
+        self.power_model = CpuPowerModel(cfg.power)
 
     def bind_rank(self, rank: RankInterface) -> None:
         """Attach this node's share of a parallel job."""

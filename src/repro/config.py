@@ -11,6 +11,7 @@ lm-sensors sampling at 4 Hz.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from .cpu.power import PowerParams
 from .cpu.pstate import ATHLON64_4000, PStateTable
@@ -23,7 +24,88 @@ from .thermal.package import PackageParams
 from .thermal.sensor import SensorParams
 from .units import require_non_negative, require_positive
 
-__all__ = ["NodeConfig", "ClusterConfig"]
+__all__ = ["CoreClassConfig", "FloorplanConfig", "NodeConfig", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class CoreClassConfig:
+    """One core class of a multicore floorplan, ready to instantiate.
+
+    Attributes
+    ----------
+    name:
+        Class label; becomes part of the per-class DVFS domain name
+        (``node0.dvfs.perf``).
+    count:
+        Number of identical cores of this class.
+    pstates:
+        The class's validated DVFS ladder.
+    power:
+        The class's per-core power-model constants.
+    """
+
+    name: str
+    count: int
+    pstates: PStateTable
+    power: PowerParams = field(default_factory=PowerParams)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"core class {self.name!r} needs count >= 1, got {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class FloorplanConfig:
+    """An N-core die floorplan: core classes plus thermal constants.
+
+    When a :class:`NodeConfig` carries one, the cluster layer builds a
+    :class:`~repro.cluster.multicore_node.MulticoreNode` around a
+    :class:`~repro.thermal.multicore.MulticorePackage` instead of the
+    classic single-core node.  Class 0 is the *lead* DVFS domain: the
+    one governors actuate (follower classes track it proportionally —
+    see :class:`~repro.cpu.dvfs.GangedDvfs`).
+
+    Attributes
+    ----------
+    classes:
+        The core classes, lead first; total core count must be ≥ 2
+        (use a plain :class:`NodeConfig` for single-core parts).
+    c_core / c_sink:
+        Per-core and shared-heatsink thermal capacitance, J/K.
+    r_core_sink / r_core_core:
+        Core→sink and lateral ring conduction resistance, K/W.
+    """
+
+    classes: Tuple[CoreClassConfig, ...]
+    c_core: float = 8.0
+    c_sink: float = 200.0
+    r_core_sink: float = 0.45
+    r_core_core: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError("floorplan needs at least one core class")
+        if self.n_cores < 2:
+            raise ConfigurationError(
+                f"floorplan has {self.n_cores} core(s); a multicore "
+                "floorplan needs >= 2 (use a plain NodeConfig otherwise)"
+            )
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"floorplan has duplicate core class names: {names}"
+            )
+        require_positive(self.c_core, "c_core")
+        require_positive(self.c_sink, "c_sink")
+        require_positive(self.r_core_sink, "r_core_sink")
+        require_positive(self.r_core_core, "r_core_core")
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores across all classes."""
+        return sum(c.count for c in self.classes)
 
 
 @dataclass(frozen=True)
@@ -70,6 +152,12 @@ class NodeConfig:
         the "shutdowns ... loss of availability" failure mode.
     hw_protection:
         Master enable for both mechanisms (on, as on real silicon).
+    floorplan:
+        Optional N-core die floorplan.  When set, the cluster builds a
+        multicore node and ``pstates``/``power`` must mirror the
+        floorplan's lead class (they remain what single-domain readers
+        of the config see).  Default None: the paper's single-core
+        node.
     """
 
     pstates: PStateTable = field(default_factory=lambda: ATHLON64_4000)
@@ -88,6 +176,7 @@ class NodeConfig:
     prochot_hysteresis: float = 8.0
     shutdown_temp: float = 97.0
     hw_protection: bool = True
+    floorplan: Optional[FloorplanConfig] = None
 
     def __post_init__(self) -> None:
         require_non_negative(self.baseboard_power, "baseboard_power")
@@ -104,6 +193,14 @@ class NodeConfig:
                 "motor.rpm_max and aero.rpm_max disagree "
                 f"({self.motor.rpm_max} vs {self.aero.rpm_max})"
             )
+        if self.floorplan is not None:
+            lead = self.floorplan.classes[0]
+            if lead.pstates.frequencies_ghz() != self.pstates.frequencies_ghz():
+                raise ConfigurationError(
+                    "pstates must mirror the floorplan's lead class "
+                    f"({self.pstates.frequencies_ghz()} vs lead "
+                    f"{lead.pstates.frequencies_ghz()})"
+                )
 
     def with_(self, **changes) -> "NodeConfig":
         """A copy with the given fields replaced (dataclass ``replace``)."""

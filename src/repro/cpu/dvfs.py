@@ -16,14 +16,14 @@ evaluation leans on:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..errors import ActuatorError
 from ..sim.events import EventLog
 from ..units import require_non_negative
 from .pstate import PState, PStateTable
 
-__all__ = ["Dvfs"]
+__all__ = ["Dvfs", "GangedDvfs"]
 
 
 class Dvfs:
@@ -156,3 +156,52 @@ class Dvfs:
         consumed = min(self._stall_remaining, dt)
         self._stall_remaining -= consumed
         return consumed
+
+
+class GangedDvfs(Dvfs):
+    """A lead DVFS domain that drags follower domains with it.
+
+    Heterogeneous parts expose several DVFS domains (one per core
+    class), but the paper's governors actuate a single ladder.  The
+    lead domain (class 0) is what they see; every index change is
+    propagated to each follower domain at the *proportionally
+    equivalent* rung of its own ladder, so ladders of different
+    lengths track together: lead index ``i`` of ``N`` maps to follower
+    index ``round(i · (M−1)/(N−1))`` of ``M``.  Fastest maps to
+    fastest, slowest to slowest — a PROCHOT clamp on the lead slams
+    every class to its floor.
+
+    Followers are ordinary :class:`Dvfs` objects with their own change
+    accounting and event names; only the lead's events carry the
+    ``node<i>.dvfs`` source the Table-1 change counts are drawn from.
+    """
+
+    def __init__(
+        self,
+        table: PStateTable,
+        followers: Sequence[Dvfs] = (),
+        transition_latency: float = 1.0e-4,
+        events: Optional[EventLog] = None,
+        name: str = "dvfs",
+    ) -> None:
+        super().__init__(
+            table,
+            transition_latency=transition_latency,
+            events=events,
+            name=name,
+        )
+        self.followers = tuple(followers)
+
+    def set_index(self, index: int, t: Optional[float] = None) -> bool:
+        changed = super().set_index(index, t)
+        if changed:
+            span = len(self.table) - 1
+            for follower in self.followers:
+                mapped = round(self._index * (len(follower.table) - 1) / span)
+                follower.set_index(int(mapped), t)
+        return changed
+
+    def note_time(self, t: float) -> None:
+        super().note_time(t)
+        for follower in self.followers:
+            follower.note_time(t)

@@ -53,6 +53,7 @@ from ..workloads.synthetic import (
 __all__ = [
     "DEFAULT_SEED",
     "standard_cluster",
+    "platform_policy",
     "attach_dynamic_fan",
     "attach_traditional_fan",
     "attach_constant_fan",
@@ -66,9 +67,40 @@ __all__ = [
 ]
 
 
-def standard_cluster(n_nodes: int = 4, seed: int = DEFAULT_SEED) -> Cluster:
-    """The paper's testbed: ``n_nodes`` §4.1 nodes under one engine."""
-    return Cluster(ClusterConfig(n_nodes=n_nodes, seed=seed))
+def standard_cluster(
+    n_nodes: int = 4,
+    seed: int = DEFAULT_SEED,
+    platform: Optional[str] = None,
+) -> Cluster:
+    """The paper's testbed: ``n_nodes`` §4.1 nodes under one engine.
+
+    With ``platform`` set to a :data:`repro.platform.PLATFORM_REGISTRY`
+    key, the same chassis carries that silicon instead of the default
+    Athlon64 — the rigging helpers below then scale their policies to
+    the platform's safe band.
+    """
+    if platform is None:
+        return Cluster(ClusterConfig(n_nodes=n_nodes, seed=seed))
+    from ..platform import resolve_platform
+
+    spec = resolve_platform(platform)
+    return Cluster(
+        ClusterConfig(n_nodes=n_nodes, seed=seed, node=spec.node_config()),
+        platform=spec,
+    )
+
+
+def platform_policy(cluster: Cluster, pp: int = 50) -> Policy:
+    """The control policy for ``cluster``'s silicon.
+
+    A platform-less cluster (every pre-platform construction) gets
+    exactly the historical ``Policy(pp=pp)`` with the paper's 38–82 °C
+    band; a platform-bearing one gets the same ``P_p`` over that
+    platform's own safe band.
+    """
+    if cluster.platform is None:
+        return Policy(pp=pp)
+    return cluster.platform.policy(pp)
 
 
 def attach_dynamic_fan(
@@ -80,7 +112,7 @@ def attach_dynamic_fan(
     l2_when_l1_silent: bool = True,
 ) -> List[DynamicFanControl]:
     """Rig every node with the paper's dynamic fan control."""
-    policy = Policy(pp=pp)
+    policy = platform_policy(cluster, pp)
     governors = []
     for node in cluster.nodes:
         gov = DynamicFanControl(
@@ -136,7 +168,7 @@ def attach_tdvfs(
     params: Optional[TDvfsParams] = None,
 ) -> List[TDvfs]:
     """Rig every node with the tDVFS daemon."""
-    policy = Policy(pp=pp)
+    policy = platform_policy(cluster, pp)
     governors = []
     for node in cluster.nodes:
         gov = TDvfs(
@@ -186,7 +218,7 @@ def attach_hybrid(
     tdvfs_params: Optional[TDvfsParams] = None,
 ) -> List[HybridControl]:
     """Rig every node with the §4.4 hybrid fan + tDVFS configuration."""
-    policy = Policy(pp=pp)
+    policy = platform_policy(cluster, pp)
     governors = []
     for node in cluster.nodes:
         gov = hybrid_governors(

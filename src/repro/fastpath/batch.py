@@ -737,7 +737,14 @@ def run_jobs_batch(
             node.meter.reset()
         for component in cluster.engine._components:
             if type(component) is not Node:
-                raise Unbatchable("engine has non-node components")
+                # Covers foreign components and MulticoreNode alike:
+                # the trusted package lane hard-assumes the 2-node
+                # die/sink CpuPackage, so N-core floorplans take the
+                # serial fastpath fallback instead.
+                raise Unbatchable(
+                    "engine has non-node components "
+                    f"({type(component).__name__})"
+                )
         lanes.append(_Lane(cluster, jobs[i], timeouts[i], tails[i], i))
 
     results: List[Optional[object]] = [None] * n

@@ -32,18 +32,29 @@ def compile_steps(engine: SimulationEngine) -> List[Callable[[float, float], Non
     """Per-component step callables, fused where the structure is known.
 
     :class:`~repro.cluster.node.Node` components get the fully fused
-    closure from :func:`repro.fastpath.node.compile_node_step`; any
-    other component falls back to its bound ``step`` method (still
-    saving the dispatch indirection of the reference loop).
+    closure from :func:`repro.fastpath.node.compile_node_step`.  A
+    :class:`~repro.cluster.multicore_node.MulticoreNode` keeps its own
+    reference ``step`` logic — the fused closure hard-assumes the
+    2-node die/sink package — but its floorplan's RC network is
+    compiled through :func:`repro.fastpath.rc.compile_network` (which
+    is generic over network shape and byte-identical by the compiler's
+    contract), so the N-core thermal solve still runs on the fast
+    arrays.  Any other component falls back to its bound ``step``
+    method (still saving the dispatch indirection of the reference
+    loop).
     """
+    from ..cluster.multicore_node import MulticoreNode
     from ..cluster.node import Node
     from .node import compile_node_step
+    from .rc import compile_network
 
     steps: List[Callable[[float, float], None]] = []
     for component in engine._components:
         if type(component) is Node:
             steps.append(compile_node_step(component))
         else:
+            if type(component) is MulticoreNode:
+                compile_network(component.package._net)
             steps.append(component.step)
     return steps
 

@@ -23,7 +23,7 @@ LAYER_TABLE: Tuple[Tuple[int, Tuple[str, ...]], ...] = (
     (0, ("errors", "units")),
     (1, ("sim", "i2c", "workloads", "lint")),
     (2, ("thermal", "cpu", "fan", "telemetry")),
-    (3, ("core", "config")),
+    (3, ("core", "config", "platform")),
     (4, ("governors", "ipmi")),
     (5, ("cluster",)),
     (6, ("fastpath", "runtime", "analysis")),

@@ -1,0 +1,51 @@
+"""Silicon as data: platform specs, the registry, tech-node scaling.
+
+The platform layer makes the processor a *dimension* of a run instead
+of a constant of the codebase: a frozen
+:class:`~repro.platform.spec.PlatformSpec` describes a part (core
+classes with per-class DVFS ladders and power tables, die floorplan
+thermal constants, technology node, safe operating band), the
+read-only :data:`~repro.platform.registry.PLATFORM_REGISTRY` names the
+parts a :class:`~repro.runtime.spec.RunSpec` may reference, and
+:mod:`~repro.platform.technode` carries any registered part across the
+45 → 8 nm scaling ladder.
+
+A spec without a ``platform`` field runs exactly the paper's testbed
+(``athlon64_4000``) through the exact pre-platform code path — digests,
+cache keys and rendered outputs are byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from .registry import DEFAULT_PLATFORM, PLATFORM_REGISTRY, resolve_platform
+from .spec import CoreClass, PlatformSpec
+from .technode import (
+    FREQ_SCALE,
+    POWER_SCALE,
+    SCALING_MODELS,
+    TECH_NODES,
+    VDD_SCALE,
+    VTH_BASE,
+    node_ratios,
+    scale_power_params,
+    scale_pstates,
+    vdd_floor,
+)
+
+__all__ = [
+    "CoreClass",
+    "PlatformSpec",
+    "PLATFORM_REGISTRY",
+    "DEFAULT_PLATFORM",
+    "resolve_platform",
+    "TECH_NODES",
+    "SCALING_MODELS",
+    "VDD_SCALE",
+    "FREQ_SCALE",
+    "POWER_SCALE",
+    "VTH_BASE",
+    "vdd_floor",
+    "node_ratios",
+    "scale_pstates",
+    "scale_power_params",
+]

@@ -1,0 +1,181 @@
+"""The platform name registry: every silicon a run can name.
+
+Like the rig/workload/ambient registries in
+:mod:`repro.experiments.platform`, this table maps the string a
+:class:`~repro.runtime.spec.RunSpec` carries in its ``platform`` field
+to a frozen :class:`~repro.platform.spec.PlatformSpec`, and is wrapped
+in :class:`types.MappingProxyType` so worker processes can never see a
+parent-side mutation (the RPR013 worker-state-safety contract).
+
+Registered parts
+----------------
+``athlon64_4000``
+    The paper's testbed processor (§4.1): single-core AMD Athlon64
+    4000+ with the 5-point PowerNow! ladder.  This is the behaviour a
+    spec *without* a platform field gets — the entry exists so the
+    default silicon is first-class, inspectable data like any other.
+``multicore_8c_45nm``
+    An Opteron-class 8-core homogeneous part at the 45 nm table
+    baseline, backed by the N-core
+    :class:`~repro.thermal.multicore.MulticorePackage` floorplan.
+    Per-core constants are calibrated so the full-load package lands
+    near the Athlon's ≈55 W envelope under the same chassis.
+``multicore_8c_45nm_16nm``
+    The same part carried 45 → 16 nm through the conservative scaling
+    tables (:meth:`~repro.platform.spec.PlatformSpec.scaled`) — the
+    technology-node ladder demonstrated end to end.
+``biglittle_4p4e``
+    A heterogeneous 22 nm mix: 4 performance cores on an 8-point
+    ladder plus 4 efficiency cores on a 4-point ladder, per-class
+    power tables — the Bhat-style big.LITTLE shape, with a slightly
+    tighter safe band (t_max 80 °C).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+from ..cpu.power import PowerParams
+from ..cpu.pstate import ATHLON64_4000, PState
+from ..errors import ConfigurationError
+from ..units import ghz
+from .spec import CoreClass, PlatformSpec
+
+__all__ = [
+    "PLATFORM_REGISTRY",
+    "DEFAULT_PLATFORM",
+    "resolve_platform",
+]
+
+#: Name of the platform a spec without a ``platform`` field runs on.
+DEFAULT_PLATFORM = "athlon64_4000"
+
+
+def _athlon64_4000() -> PlatformSpec:
+    return PlatformSpec(
+        name="athlon64_4000",
+        description="AMD Athlon64 4000+ (San Diego, 939): the paper's testbed",
+        core_classes=(
+            CoreClass(
+                name="k8",
+                count=1,
+                pstates=tuple(ATHLON64_4000),
+                power=PowerParams(),
+            ),
+        ),
+        tech_nm=90,
+    )
+
+
+def _multicore_8c_45nm() -> PlatformSpec:
+    # Per-core full-load dynamic power ≈ 6 W at 2.6 GHz / 1.10 V:
+    # c_eff = 6 / (1.10² · 2.6e9) ≈ 1.91e-9 F.  Eight cores plus
+    # leakage total ≈ 55 W — the same chassis envelope as the Athlon.
+    ladder = (
+        PState(frequency=ghz(2.6), voltage=1.10),
+        PState(frequency=ghz(2.2), voltage=1.05),
+        PState(frequency=ghz(1.8), voltage=0.98),
+        PState(frequency=ghz(1.4), voltage=0.90),
+        PState(frequency=ghz(1.0), voltage=0.80),
+    )
+    return PlatformSpec(
+        name="multicore_8c_45nm",
+        description="Opteron-class 8-core homogeneous part, 45 nm baseline",
+        core_classes=(
+            CoreClass(
+                name="c",
+                count=8,
+                pstates=ladder,
+                power=PowerParams(
+                    c_eff=1.91e-9,
+                    leak_ref=0.60,
+                    v_ref=1.10,
+                    idle_floor=0.40,
+                ),
+            ),
+        ),
+        tech_nm=45,
+        c_core=8.0,
+        c_sink=200.0,
+        r_core_sink=0.45,
+        r_core_core=1.2,
+    )
+
+
+def _biglittle_4p4e() -> PlatformSpec:
+    # Performance class: 8-point ladder, ≈9 W/core full-load dynamic at
+    # 3.2 GHz / 1.00 V (c_eff = 9 / (1.00² · 3.2e9) ≈ 2.81e-9 F).
+    perf = (
+        PState(frequency=ghz(3.2), voltage=1.00),
+        PState(frequency=ghz(2.9), voltage=0.96),
+        PState(frequency=ghz(2.6), voltage=0.92),
+        PState(frequency=ghz(2.3), voltage=0.88),
+        PState(frequency=ghz(2.0), voltage=0.84),
+        PState(frequency=ghz(1.7), voltage=0.79),
+        PState(frequency=ghz(1.4), voltage=0.74),
+        PState(frequency=ghz(1.1), voltage=0.70),
+    )
+    # Efficiency class: short 4-point ladder, ≈2.5 W/core full-load
+    # dynamic at 2.0 GHz / 0.85 V (c_eff ≈ 1.73e-9 F).
+    eff = (
+        PState(frequency=ghz(2.0), voltage=0.85),
+        PState(frequency=ghz(1.6), voltage=0.78),
+        PState(frequency=ghz(1.2), voltage=0.72),
+        PState(frequency=ghz(0.8), voltage=0.65),
+    )
+    return PlatformSpec(
+        name="biglittle_4p4e",
+        description="Heterogeneous 4 perf + 4 eff big.LITTLE mix, 22 nm",
+        core_classes=(
+            CoreClass(
+                name="perf",
+                count=4,
+                pstates=perf,
+                power=PowerParams(
+                    c_eff=2.81e-9,
+                    leak_ref=1.00,
+                    v_ref=1.00,
+                    idle_floor=0.40,
+                ),
+            ),
+            CoreClass(
+                name="eff",
+                count=4,
+                pstates=eff,
+                power=PowerParams(
+                    c_eff=1.73e-9,
+                    leak_ref=0.30,
+                    v_ref=0.85,
+                    idle_floor=0.20,
+                ),
+            ),
+        ),
+        tech_nm=22,
+        t_max=80.0,
+        c_core=8.0,
+        c_sink=200.0,
+        r_core_sink=0.45,
+        r_core_core=1.0,
+    )
+
+
+_MULTICORE_8C = _multicore_8c_45nm()
+
+#: Platform name → frozen :class:`PlatformSpec` (read-only view).
+PLATFORM_REGISTRY: Mapping[str, PlatformSpec] = MappingProxyType({
+    "athlon64_4000": _athlon64_4000(),
+    "multicore_8c_45nm": _MULTICORE_8C,
+    "multicore_8c_45nm_16nm": _MULTICORE_8C.scaled(16, model="cons"),
+    "biglittle_4p4e": _biglittle_4p4e(),
+})
+
+
+def resolve_platform(name: str) -> PlatformSpec:
+    """Look up a platform by name, failing with the available keys."""
+    try:
+        return PLATFORM_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORM_REGISTRY)}"
+        ) from None

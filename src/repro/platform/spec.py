@@ -1,0 +1,238 @@
+"""Declarative silicon descriptions: the :class:`PlatformSpec`.
+
+A platform spec *names* a processor package the way a
+:class:`~repro.runtime.spec.RunSpec` names a run: frozen, hashable,
+value-comparable data, no live objects.  It carries
+
+* one or more :class:`CoreClass` entries — a heterogeneous
+  (big.LITTLE-style) part lists several classes, each with its own
+  per-class DVFS ladder (frequency/voltage points) and power-model
+  constants (``C_eff``, leakage — the Pdyn/Pleak tables),
+* the die floorplan's thermal constants (per-core mass, shared sink,
+  core→sink and lateral core→core conduction) parameterizing a
+  :class:`~repro.thermal.multicore.MulticorePackage` when the part has
+  more than one core,
+* the technology node the part is built on, which anchors
+  :meth:`PlatformSpec.scaled` — the 45 → 8 nm ladder of
+  :mod:`repro.platform.technode` — and
+* the safe operating band ``[t_min, t_max]`` the thermal-control
+  policy scales against.
+
+:meth:`PlatformSpec.node_config` materializes the spec into the
+:class:`~repro.config.NodeConfig` the cluster layer builds nodes from;
+a single-core single-class spec produces the classic
+:class:`~repro.thermal.package.CpuPackage` node, anything larger
+produces a :class:`~repro.config.FloorplanConfig`-bearing config that
+:class:`~repro.cluster.multicore_node.MulticoreNode` consumes.
+
+All validation happens at construction (:class:`ConfigurationError`),
+never mid-run: a one-point ladder, a non-monotone ladder, an empty
+class list or a degenerate ``t_min >= t_max`` band — the latter two
+would otherwise surface as a ``ZeroDivisionError`` inside the
+target-mode scale coefficient ``c = (N−1)/(t_max − t_min)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..config import CoreClassConfig, FloorplanConfig, NodeConfig
+from ..core.policy import Policy
+from ..cpu.power import PowerParams
+from ..cpu.pstate import PState, PStateTable
+from ..errors import ConfigurationError
+from .technode import scale_power_params, scale_pstates
+
+__all__ = ["CoreClass", "PlatformSpec"]
+
+
+@dataclass(frozen=True)
+class CoreClass:
+    """One core class of a (possibly heterogeneous) part.
+
+    Attributes
+    ----------
+    name:
+        Class label (``"perf"``, ``"eff"``, ...); becomes part of the
+        per-class DVFS domain name.
+    count:
+        Number of identical cores of this class on the die.
+    pstates:
+        The class's DVFS ladder as frozen points; any length ≥ 2, any
+        order (the table sorts fastest-first).  Class 0's ladder is the
+        *lead* DVFS domain governors actuate; follower classes track it
+        proportionally.
+    power:
+        The class's power-model constants (per core).
+    """
+
+    name: str
+    count: int
+    pstates: Tuple[PState, ...]
+    power: PowerParams = field(default_factory=PowerParams)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("core class needs a non-empty name")
+        if self.count < 1:
+            raise ConfigurationError(
+                f"core class {self.name!r} needs count >= 1, got {self.count}"
+            )
+        if len(self.pstates) < 2:
+            raise ConfigurationError(
+                f"core class {self.name!r} has a degenerate {len(self.pstates)}"
+                "-point DVFS ladder; the target-mode scale coefficient "
+                "c = (N-1)/(t_max - t_min) needs N >= 2 modes"
+            )
+        # Surfaces duplicate-frequency / voltage-monotonicity errors now.
+        PStateTable(list(self.pstates))
+
+    def table(self) -> PStateTable:
+        """The ladder as a validated fastest-first :class:`PStateTable`."""
+        return PStateTable(list(self.pstates))
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A frozen, hashable description of one processor platform.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"athlon64_4000"``, ``"biglittle_4p4e"``, ...).
+    description:
+        One-line human-readable summary.
+    core_classes:
+        The part's core classes, lead class first.  One class with
+        ``count == 1`` describes a classic single-core part.
+    tech_nm:
+        Technology node the part is built on, nm.  Only parts on a
+        node covered by :data:`~repro.platform.technode.TECH_NODES`
+        can be carried across nodes with :meth:`scaled`.
+    t_min / t_max:
+        Safe operating band for the thermal-control policy, °C.
+    c_core / c_sink / r_core_sink / r_core_core:
+        Die floorplan thermal constants (per-core capacitance, shared
+        sink capacitance, core→sink and lateral ring conduction) —
+        used when the part has more than one core.
+    """
+
+    name: str
+    description: str
+    core_classes: Tuple[CoreClass, ...]
+    tech_nm: int = 90
+    t_min: float = 38.0
+    t_max: float = 82.0
+    c_core: float = 8.0
+    c_sink: float = 200.0
+    r_core_sink: float = 0.45
+    r_core_core: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("platform needs a non-empty name")
+        if not self.core_classes:
+            raise ConfigurationError(
+                f"platform {self.name!r} needs at least one core class"
+            )
+        if not self.t_min < self.t_max:
+            raise ConfigurationError(
+                f"platform {self.name!r} has a degenerate safe band "
+                f"[{self.t_min}, {self.t_max}]; the scale coefficient "
+                "c = (N-1)/(t_max - t_min) needs t_min < t_max"
+            )
+        names = [c.name for c in self.core_classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"platform {self.name!r} has duplicate core class names: {names}"
+            )
+
+    # -- derived shape ---------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores on the die across all classes."""
+        return sum(c.count for c in self.core_classes)
+
+    @property
+    def is_multicore(self) -> bool:
+        """True when the part needs the N-core package model."""
+        return self.n_cores > 1
+
+    @property
+    def lead_class(self) -> CoreClass:
+        """Class 0 — the DVFS domain governors actuate directly."""
+        return self.core_classes[0]
+
+    # -- materialization -------------------------------------------------
+
+    def policy(self, pp: int = 50) -> Policy:
+        """A thermal-control policy over this platform's safe band."""
+        return Policy(pp=pp, t_min=self.t_min, t_max=self.t_max)
+
+    def node_config(self, base: NodeConfig = NodeConfig()) -> NodeConfig:
+        """The :class:`~repro.config.NodeConfig` this platform runs as.
+
+        Everything the spec does not describe (fan, sensor, convection,
+        protection temperatures) is inherited from ``base`` — the
+        paper's testbed chassis by default: swapping silicon does not
+        swap the fan behind it.
+        """
+        lead = self.lead_class
+        if not self.is_multicore:
+            return base.with_(pstates=lead.table(), power=lead.power)
+        floorplan = FloorplanConfig(
+            classes=tuple(
+                CoreClassConfig(
+                    name=c.name,
+                    count=c.count,
+                    pstates=c.table(),
+                    power=c.power,
+                )
+                for c in self.core_classes
+            ),
+            c_core=self.c_core,
+            c_sink=self.c_sink,
+            r_core_sink=self.r_core_sink,
+            r_core_core=self.r_core_core,
+        )
+        return base.with_(
+            pstates=lead.table(), power=lead.power, floorplan=floorplan
+        )
+
+    # -- technology scaling ----------------------------------------------
+
+    def scaled(self, tech_nm: int, model: str = "cons") -> "PlatformSpec":
+        """This part carried to another technology node.
+
+        Every class's ladder and power constants move through the
+        :mod:`~repro.platform.technode` tables (relative to this
+        spec's ``tech_nm``); the floorplan and safe band carry over.
+        The derived spec is named ``<name>_<node>nm``.
+        """
+        classes = tuple(
+            replace(
+                c,
+                pstates=scale_pstates(c.pstates, self.tech_nm, tech_nm, model),
+                power=scale_power_params(c.power, self.tech_nm, tech_nm, model),
+            )
+            for c in self.core_classes
+        )
+        return replace(
+            self,
+            name=f"{self.name}_{tech_nm}nm",
+            description=(
+                f"{self.description} (scaled {self.tech_nm}->{tech_nm} nm, "
+                f"{model} tables)"
+            ),
+            core_classes=classes,
+            tech_nm=tech_nm,
+        )
+
+    def describe(self) -> str:
+        """Short label: classes, counts and ladder lengths."""
+        mix = "+".join(
+            f"{c.count}x{c.name}[{len(c.pstates)}p]" for c in self.core_classes
+        )
+        return f"{self.name}@{self.tech_nm}nm({mix})"

@@ -1,0 +1,187 @@
+"""Technology-node scaling tables for the 45 → 8 nm ladder.
+
+The tables reproduce the published ITRS-derived and conservative
+scaling trajectories popularized by the Lumos heterogeneous-computing
+model (Wang & Skadron), which in turn digests the ITRS roadmap
+editions contemporary with the paper: per node, a supply-voltage
+scale, a frequency scale and a total-power scale, all relative to the
+45 nm baseline, plus the base threshold voltage the DVFS lower bound
+derives from.
+
+Two model variants are carried:
+
+* ``"itrs"`` — the optimistic ITRS trajectory (aggressive frequency
+  growth that historically did not materialize past 22 nm),
+* ``"cons"`` — the conservative trajectory (modest frequency gains,
+  slower voltage scaling; the realistic default).
+
+:func:`scale_pstates` applies a node-to-node transition to a DVFS
+ladder: frequencies multiply by the frequency-scale ratio, voltages by
+the supply ratio, with every point clamped to the near-threshold floor
+of the target node (voltage cannot chase the scale below ``V_th`` —
+the same lower bound Lumos imposes on its DVFS range).
+:func:`scale_power_params` rescales the power-model constants so that
+full-load dynamic power lands exactly on the published total-power
+scale: the effective capacitance absorbs the residual
+``power / (vdd² · freq)`` factor, and leakage scales with the power
+ratio directly.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping, Tuple
+
+from ..cpu.power import PowerParams
+from ..cpu.pstate import PState
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TECH_NODES",
+    "SCALING_MODELS",
+    "VDD_SCALE",
+    "FREQ_SCALE",
+    "POWER_SCALE",
+    "VTH_BASE",
+    "vdd_floor",
+    "node_ratios",
+    "scale_pstates",
+    "scale_power_params",
+]
+
+#: Feature sizes the tables cover, in nanometres (45 nm is the baseline).
+TECH_NODES: Tuple[int, ...] = (45, 32, 22, 16, 11, 8)
+
+#: The two scaling trajectories the tables distinguish.
+SCALING_MODELS: Tuple[str, ...] = ("itrs", "cons")
+
+#: Supply-voltage scale relative to 45 nm, per model (frozen so the
+#: tables stay identical across worker processes).
+VDD_SCALE: Mapping[str, Mapping[int, float]] = MappingProxyType({
+    "itrs": MappingProxyType(
+        {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62}
+    ),
+    "cons": MappingProxyType(
+        {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84}
+    ),
+})
+
+#: Peak-frequency scale relative to 45 nm, per model.
+FREQ_SCALE: Mapping[str, Mapping[int, float]] = MappingProxyType({
+    "itrs": MappingProxyType(
+        {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85}
+    ),
+    "cons": MappingProxyType(
+        {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34}
+    ),
+})
+
+#: Full-load total-power scale relative to 45 nm, per model.
+POWER_SCALE: Mapping[str, Mapping[int, float]] = MappingProxyType({
+    "itrs": MappingProxyType(
+        {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12}
+    ),
+    "cons": MappingProxyType(
+        {45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22}
+    ),
+})
+
+#: Nominal threshold voltage per node, volts.
+VTH_BASE: Mapping[int, float] = MappingProxyType({
+    45: 0.3201,
+    32: 0.2970,
+    22: 0.2673,
+    16: 0.2409,
+    11: 0.2178,
+    8: 0.1980,
+})
+
+#: Near-threshold guard band above ``V_th`` for the DVFS floor, volts.
+_NTC_GUARD = 0.15
+
+
+def _check_node(tech_nm: int) -> None:
+    if tech_nm not in VTH_BASE:
+        raise ConfigurationError(
+            f"unknown technology node {tech_nm} nm; the scaling tables "
+            f"cover {sorted(VTH_BASE)}"
+        )
+
+
+def _check_model(model: str) -> None:
+    if model not in VDD_SCALE:
+        raise ConfigurationError(
+            f"unknown scaling model {model!r}; choose from {SCALING_MODELS}"
+        )
+
+
+def vdd_floor(tech_nm: int) -> float:
+    """Lowest usable supply at ``tech_nm``: V_th plus a guard band, V.
+
+    The guard band keeps the ladder out of the near-threshold regime
+    where the simple ``C_eff V² f`` dynamic model stops holding.
+    """
+    _check_node(tech_nm)
+    return VTH_BASE[tech_nm] + _NTC_GUARD
+
+
+def node_ratios(
+    from_nm: int, to_nm: int, model: str = "cons"
+) -> Tuple[float, float, float]:
+    """``(vdd, freq, power)`` multipliers for a ``from → to`` transition.
+
+    Both endpoints must be in :data:`TECH_NODES`; transitions compose
+    through the 45 nm baseline (``s(to) / s(from)`` per table).
+    """
+    _check_model(model)
+    _check_node(from_nm)
+    _check_node(to_nm)
+    return (
+        VDD_SCALE[model][to_nm] / VDD_SCALE[model][from_nm],
+        FREQ_SCALE[model][to_nm] / FREQ_SCALE[model][from_nm],
+        POWER_SCALE[model][to_nm] / POWER_SCALE[model][from_nm],
+    )
+
+
+def scale_pstates(
+    pstates: Tuple[PState, ...], from_nm: int, to_nm: int, model: str = "cons"
+) -> Tuple[PState, ...]:
+    """Carry a DVFS ladder across a technology transition.
+
+    Frequencies scale by the frequency ratio, voltages by the supply
+    ratio; every voltage is clamped to :func:`vdd_floor` of the target
+    node (clamping a tail of points to the same floor keeps the
+    ladder's required voltage monotonicity intact).
+    """
+    vdd_r, freq_r, _ = node_ratios(from_nm, to_nm, model)
+    floor = vdd_floor(to_nm)
+    return tuple(
+        PState(
+            frequency=p.frequency * freq_r,
+            voltage=max(p.voltage * vdd_r, floor),
+        )
+        for p in pstates
+    )
+
+
+def scale_power_params(
+    params: PowerParams, from_nm: int, to_nm: int, model: str = "cons"
+) -> PowerParams:
+    """Carry power-model constants across a technology transition.
+
+    ``C_eff`` absorbs the residual so that un-clamped full-load dynamic
+    power scales by exactly the published power ratio
+    (``power / (vdd² · freq)``); leakage and the idle floor scale with
+    the power ratio, and the leakage reference voltage follows the
+    supply so the ``V / V_ref`` term stays centred on the new ladder.
+    """
+    vdd_r, freq_r, power_r = node_ratios(from_nm, to_nm, model)
+    residual = power_r / (vdd_r * vdd_r * freq_r)
+    return PowerParams(
+        c_eff=params.c_eff * residual,
+        leak_ref=params.leak_ref * power_r,
+        v_ref=params.v_ref * vdd_r,
+        t_ref=params.t_ref,
+        leak_temp_scale=params.leak_temp_scale,
+        idle_floor=params.idle_floor * power_r,
+    )

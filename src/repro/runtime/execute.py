@@ -54,11 +54,28 @@ def _build_run(spec: RunSpec):
         )
         ambient_factory = maker(spec.n_nodes, **dict(spec.ambient.params))
 
+    # A spec without a platform builds the exact pre-platform config —
+    # the byte-identity guarantee for every historical spec.  A named
+    # platform swaps in that silicon's node config (same chassis).
+    if spec.platform is None:
+        platform_spec = None
+        config = ClusterConfig(n_nodes=spec.n_nodes, seed=spec.seed)
+    else:
+        from ..platform import resolve_platform
+
+        platform_spec = resolve_platform(spec.platform)
+        config = ClusterConfig(
+            n_nodes=spec.n_nodes,
+            seed=spec.seed,
+            node=platform_spec.node_config(),
+        )
+
     cluster = Cluster(
-        ClusterConfig(n_nodes=spec.n_nodes, seed=spec.seed),
+        config,
         ambient_factory=ambient_factory,
         telemetry=MetricsRegistry() if spec.telemetry else None,
         fastpath=spec.fastpath,
+        platform=platform_spec,
     )
     for rig in spec.rigs:
         attach = _resolve(registries.RIG_REGISTRY, "rig", rig.name)

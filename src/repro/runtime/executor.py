@@ -205,6 +205,14 @@ class RunExecutor:
         clock only, never results or digests beyond what ``fastpath``
         already changes.  Groups that cannot batch (singletons, fault
         specs) fall back to the ordinary per-spec path.
+    platform:
+        Optional platform registry key.  When set, every mapped spec
+        that does not already name a platform is retargeted to this
+        silicon (``dataclasses.replace(spec, platform=...)``) — the
+        ``repro run|series --platform NAME`` path.  Specs that
+        explicitly name a platform keep it.  ``None`` (default) leaves
+        specs untouched, so historical digests and cache keys are
+        unaffected.
     registry:
         The host-side metrics registry.  Supplied automatically; pass
         one explicitly to share a registry across executors — each
@@ -219,6 +227,7 @@ class RunExecutor:
     telemetry: bool = False
     fastpath: bool = False
     batch: bool = False
+    platform: Optional[str] = None
     registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
@@ -270,6 +279,13 @@ class RunExecutor:
         """
         use_batch = self.batch if batch is None else batch
         specs = list(specs)
+        if self.platform is not None:
+            specs = [
+                s
+                if s.platform is not None
+                else dataclasses.replace(s, platform=self.platform)
+                for s in specs
+            ]
         if self.telemetry:
             specs = [
                 s if s.telemetry else dataclasses.replace(s, telemetry=True)
@@ -368,6 +384,7 @@ class RunExecutor:
             spec.timeout,
             spec.tail,
             spec.telemetry,
+            spec.platform,
         )
 
     def _execute_batched(

@@ -182,6 +182,15 @@ class RunSpec:
         to the reference (the equivalence suite enforces it), but the
         flag is still part of the spec — and hence the digest — so a
         cache can never silently mix the two execution paths.
+    platform:
+        Optional platform registry key (see
+        :data:`repro.platform.PLATFORM_REGISTRY`) naming the silicon
+        the run simulates.  ``None`` — the default — runs the paper's
+        testbed part through the exact pre-platform code path and is
+        *omitted* from :meth:`canonical`, so specs that never name a
+        platform keep their historical digests and cache keys
+        byte-for-byte.  Any explicit value (including the default
+        part's own name, ``"athlon64_4000"``) is digest-affecting.
     """
 
     workload: str
@@ -196,6 +205,7 @@ class RunSpec:
     quick: bool = False
     telemetry: bool = False
     fastpath: bool = False
+    platform: Optional[str] = None
 
     @classmethod
     def of(
@@ -213,6 +223,7 @@ class RunSpec:
         quick: bool = False,
         telemetry: bool = False,
         fastpath: bool = False,
+        platform: Optional[str] = None,
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts for all parameters."""
         return cls(
@@ -228,11 +239,22 @@ class RunSpec:
             quick=quick,
             telemetry=telemetry,
             fastpath=fastpath,
+            platform=platform,
         )
 
     def canonical(self) -> str:
-        """Deterministic JSON form (the digest input; also debuggable)."""
-        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+        """Deterministic JSON form (the digest input; also debuggable).
+
+        A ``None`` platform is dropped from the rendering: the field
+        was added after digests of platform-less specs were already
+        populating on-disk caches, and ``platform=None`` means "the
+        exact pre-platform behaviour", so those specs must keep their
+        historical canonical form byte-for-byte.
+        """
+        data = dataclasses.asdict(self)
+        if data["platform"] is None:
+            del data["platform"]
+        return json.dumps(data, sort_keys=True)
 
     def digest(self, version: Optional[str] = None) -> str:
         """Content hash naming this spec (plus the package ``version``).
@@ -251,9 +273,10 @@ class RunSpec:
     def describe(self) -> str:
         """Short human-readable label (progress lines, bench reports)."""
         rig_names = "+".join(r.name for r in self.rigs) or "bare"
+        platform = f"/{self.platform}" if self.platform is not None else ""
         return (
             f"{self.workload}@{self.n_nodes}n/{rig_names}"
-            f"/seed={self.seed}{'/quick' if self.quick else ''}"
+            f"/seed={self.seed}{platform}{'/quick' if self.quick else ''}"
         )
 
 

@@ -160,6 +160,11 @@ class MulticorePackage:
         return self._net.temperature(self._sink)
 
     @property
+    def ambient_temperature(self) -> float:
+        """Inlet air temperature, °C — the fan chip's local diode."""
+        return self._net.temperature(self._amb)
+
+    @property
     def hotspot_spread(self) -> float:
         """Hottest minus coolest core, K — the on-chip gradient."""
         temps = self.core_temperatures()

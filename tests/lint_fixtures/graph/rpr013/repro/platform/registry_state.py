@@ -1,0 +1,17 @@
+"""RPR013 fixture — an unfrozen platform registry in the worker world.
+
+A plain-``dict`` platform registry is mutable module state: a test (or
+a plugin-style ``register_platform`` call) can add an entry in the
+parent process after workers were forked with the original table, and
+identical RunSpecs resolve to different silicon on each side.  RPR013
+must flag the binding even though the importing worker module only
+reaches it through a *lazy* import — the import still executes inside
+every worker.  The fix is ``types.MappingProxyType`` over a private
+literal, as the real ``repro.platform.registry`` does.
+"""
+
+__all__ = ["PLATFORM_REGISTRY"]
+
+PLATFORM_REGISTRY = {
+    "athlon64_4000": ("k8", 1, 90),
+}

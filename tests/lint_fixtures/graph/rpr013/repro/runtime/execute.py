@@ -1,0 +1,18 @@
+"""RPR013 fixture — worker entrypoint reaching a mutable registry lazily.
+
+``execute_spec`` resolves its platform through a function-scoped import
+of ``repro.platform.registry_state``; lazy imports are still part of
+the worker's import closure (the worker executes them on first call),
+so the unfrozen ``PLATFORM_REGISTRY`` over there is the finding.  This
+module itself binds no mutable globals.  Lint both files together.
+"""
+
+__all__ = ["execute_spec"]
+
+
+def execute_spec(spec):
+    """Resolve the spec's platform, then run it."""
+    from repro.platform.registry_state import PLATFORM_REGISTRY
+
+    platform = PLATFORM_REGISTRY[spec.platform]
+    return spec.run(platform)

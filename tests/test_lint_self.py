@@ -41,7 +41,11 @@ BAD_FIXTURES = {
         "graph/rpr012/repro/governors/wrapped.py",
         "graph/rpr012/repro/core/impure.py",
     ),
-    "RPR013": ("graph/rpr013/repro/runtime/worker_state.py",),
+    "RPR013": (
+        "graph/rpr013/repro/runtime/worker_state.py",
+        "graph/rpr013/repro/runtime/execute.py",
+        "graph/rpr013/repro/platform/registry_state.py",
+    ),
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")

@@ -1,0 +1,310 @@
+"""The platform layer's value contracts: specs, tech scaling, registry.
+
+A :class:`~repro.platform.PlatformSpec` is to silicon what a RunSpec is
+to a run — frozen, hashable, validated entirely at construction.  These
+tests pin the validation story (every degenerate shape is a
+``ConfigurationError`` *before* a simulation starts, never a
+``ZeroDivisionError`` inside the mode-scale coefficient mid-run), the
+45 → 8 nm technology-node arithmetic, and the frozen registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.cpu.power import PowerParams
+from repro.cpu.pstate import ATHLON64_4000, PState
+from repro.errors import ConfigurationError
+from repro.platform import (
+    DEFAULT_PLATFORM,
+    FREQ_SCALE,
+    PLATFORM_REGISTRY,
+    POWER_SCALE,
+    TECH_NODES,
+    VDD_SCALE,
+    CoreClass,
+    PlatformSpec,
+    node_ratios,
+    resolve_platform,
+    scale_power_params,
+    scale_pstates,
+    vdd_floor,
+)
+
+LADDER = (
+    PState(frequency=2.4e9, voltage=1.50),
+    PState(frequency=1.8e9, voltage=1.35),
+    PState(frequency=1.0e9, voltage=1.10),
+)
+
+
+def one_class(**overrides) -> CoreClass:
+    kwargs = dict(name="k8", count=1, pstates=LADDER)
+    kwargs.update(overrides)
+    return CoreClass(**kwargs)
+
+
+def one_platform(**overrides) -> PlatformSpec:
+    kwargs = dict(
+        name="test_part",
+        description="a test part",
+        core_classes=(one_class(),),
+        tech_nm=45,
+    )
+    kwargs.update(overrides)
+    return PlatformSpec(**kwargs)
+
+
+# -- degenerate-ladder hazard (construction-time, not mid-run) -----------
+
+
+def test_one_point_ladder_rejected_at_construction() -> None:
+    """N=1 would make ``c = (N-1)/(t_max-t_min)`` collapse the control
+    array; the error must name the hazard and fire in the constructor."""
+    with pytest.raises(ConfigurationError, match=r"\(N-1\)"):
+        one_class(pstates=LADDER[:1])
+
+
+def test_empty_ladder_rejected_at_construction() -> None:
+    with pytest.raises(ConfigurationError, match="degenerate 0-point"):
+        one_class(pstates=())
+
+
+def test_degenerate_safe_band_rejected_at_construction() -> None:
+    """t_min == t_max is the other ZeroDivisionError feeder of the scale
+    coefficient; both orderings must die in the constructor."""
+    with pytest.raises(ConfigurationError, match="degenerate safe band"):
+        one_platform(t_min=70.0, t_max=70.0)
+    with pytest.raises(ConfigurationError, match="degenerate safe band"):
+        one_platform(t_min=82.0, t_max=38.0)
+
+
+def test_policy_itself_rejects_degenerate_band() -> None:
+    """Defence in depth: Policy re-checks the band (as a
+    ConfigurationError subclass) even if built directly."""
+    with pytest.raises(ConfigurationError):
+        Policy(pp=50, t_min=60.0, t_max=60.0)
+
+
+def test_platform_policy_carries_the_safe_band() -> None:
+    spec = one_platform(t_min=40.0, t_max=75.0)
+    policy = spec.policy(pp=25)
+    assert (policy.pp, policy.t_min, policy.t_max) == (25, 40.0, 75.0)
+
+
+# -- core class / platform validation ------------------------------------
+
+
+def test_core_class_validation() -> None:
+    with pytest.raises(ConfigurationError, match="non-empty name"):
+        one_class(name="")
+    with pytest.raises(ConfigurationError, match="count >= 1"):
+        one_class(count=0)
+    # Non-monotone voltage surfaces through the embedded table check.
+    bad = (
+        PState(frequency=2.4e9, voltage=1.10),
+        PState(frequency=1.0e9, voltage=1.50),
+    )
+    with pytest.raises(ConfigurationError):
+        one_class(pstates=bad)
+
+
+def test_platform_validation() -> None:
+    with pytest.raises(ConfigurationError, match="non-empty name"):
+        one_platform(name="")
+    with pytest.raises(ConfigurationError, match="at least one core class"):
+        one_platform(core_classes=())
+    with pytest.raises(ConfigurationError, match="duplicate core class"):
+        one_platform(core_classes=(one_class(), one_class()))
+
+
+def test_platform_is_hashable_value() -> None:
+    assert one_platform() == one_platform()
+    assert len({one_platform(), one_platform()}) == 1
+
+
+def test_shape_properties() -> None:
+    single = one_platform()
+    assert (single.n_cores, single.is_multicore) == (1, False)
+    hetero = one_platform(
+        core_classes=(
+            one_class(name="perf", count=4),
+            one_class(name="eff", count=4),
+        )
+    )
+    assert (hetero.n_cores, hetero.is_multicore) == (8, True)
+    assert hetero.lead_class.name == "perf"
+
+
+def test_node_config_materialization() -> None:
+    single = one_platform().node_config()
+    assert single.floorplan is None
+    assert single.pstates.frequencies_ghz() == [2.4, 1.8, 1.0]
+    multi = one_platform(
+        core_classes=(
+            one_class(name="perf", count=4),
+            one_class(name="eff", count=4),
+        )
+    ).node_config()
+    assert multi.floorplan is not None
+    assert multi.floorplan.n_cores == 8
+    assert [c.name for c in multi.floorplan.classes] == ["perf", "eff"]
+
+
+# -- technology-node scaling ---------------------------------------------
+
+
+def test_node_ratios_identity_and_composition() -> None:
+    assert node_ratios(45, 45, "cons") == (1.0, 1.0, 1.0)
+    # 45 -> 16 equals (45 -> 22) composed with (22 -> 16), per table.
+    a = node_ratios(45, 22, "itrs")
+    b = node_ratios(22, 16, "itrs")
+    c = node_ratios(45, 16, "itrs")
+    for ab, direct in zip((x * y for x, y in zip(a, b)), c):
+        assert ab == pytest.approx(direct)
+
+
+def test_unknown_node_and_model_rejected() -> None:
+    with pytest.raises(ConfigurationError, match="unknown technology node"):
+        node_ratios(45, 28)
+    with pytest.raises(ConfigurationError, match="unknown scaling model"):
+        node_ratios(45, 22, "moore")
+    with pytest.raises(ConfigurationError, match="unknown technology node"):
+        vdd_floor(90)
+
+
+def test_scale_pstates_applies_ratios_and_floor() -> None:
+    scaled = scale_pstates(LADDER, 45, 8, model="itrs")
+    vdd_r, freq_r, _ = node_ratios(45, 8, "itrs")
+    floor = vdd_floor(8)
+    for before, after in zip(LADDER, scaled):
+        assert after.frequency == pytest.approx(before.frequency * freq_r)
+        assert after.voltage == pytest.approx(
+            max(before.voltage * vdd_r, floor)
+        )
+
+
+def test_scale_pstates_clamps_to_the_near_threshold_floor() -> None:
+    """A low-voltage tail scaled by the aggressive itrs supply ratio
+    crosses V_th + guard; the clamp must engage and keep the clamped
+    tail monotone (equal floors are legal table points)."""
+    deep = LADDER + (
+        PState(frequency=0.8e9, voltage=0.55),
+        PState(frequency=0.6e9, voltage=0.50),
+    )
+    scaled = scale_pstates(deep, 45, 8, model="itrs")
+    floor = vdd_floor(8)
+    vdd_r, _, _ = node_ratios(45, 8, "itrs")
+    assert deep[-1].voltage * vdd_r < floor
+    assert scaled[-1].voltage == pytest.approx(floor)
+    assert scaled[-2].voltage == pytest.approx(floor)
+    CoreClass(name="deep", count=1, pstates=scaled)  # still a valid ladder
+
+
+def test_scaled_ladder_survives_table_validation() -> None:
+    """Clamping a tail of points to one floor keeps monotonicity but
+    the table layer must still accept the result end to end."""
+    for model in ("itrs", "cons"):
+        for to_nm in TECH_NODES[1:]:
+            cls = CoreClass(
+                name="k8",
+                count=1,
+                pstates=scale_pstates(
+                    tuple(ATHLON64_4000), 45, to_nm, model
+                ),
+            )
+            assert len(cls.table()) == len(ATHLON64_4000)
+
+
+def test_scale_power_params_lands_on_power_scale() -> None:
+    """The whole point of the residual: un-clamped full-load dynamic
+    power moves by exactly the published total-power ratio."""
+    params = PowerParams()
+    point = LADDER[0]
+    for model in ("itrs", "cons"):
+        for to_nm in (32, 22, 16):
+            scaled_params = scale_power_params(params, 45, to_nm, model)
+            scaled_point = scale_pstates((point,) * 2, 45, to_nm, model)[0]
+            before = params.c_eff * point.voltage**2 * point.frequency
+            after = (
+                scaled_params.c_eff
+                * scaled_point.voltage**2
+                * scaled_point.frequency
+            )
+            _, _, power_r = node_ratios(45, to_nm, model)
+            assert after / before == pytest.approx(power_r)
+
+
+def test_platform_scaled_renames_and_retargets() -> None:
+    spec = one_platform()
+    shrunk = spec.scaled(16)
+    assert shrunk.name == "test_part_16nm"
+    assert shrunk.tech_nm == 16
+    assert shrunk.n_cores == spec.n_cores
+    assert (shrunk.t_min, shrunk.t_max) == (spec.t_min, spec.t_max)
+    vdd_r, freq_r, _ = node_ratios(45, 16, "cons")
+    lead = shrunk.lead_class.pstates[0]
+    assert lead.frequency == pytest.approx(LADDER[0].frequency * freq_r)
+
+
+# -- registry ------------------------------------------------------------
+
+
+def test_registry_is_frozen() -> None:
+    """RPR013's contract made concrete: the table workers import must
+    not be writable from anywhere."""
+    with pytest.raises(TypeError):
+        PLATFORM_REGISTRY["rogue"] = one_platform()  # type: ignore[index]
+    with pytest.raises(TypeError):
+        del PLATFORM_REGISTRY[DEFAULT_PLATFORM]  # type: ignore[attr-defined]
+
+
+def test_scaling_tables_are_frozen() -> None:
+    for table in (VDD_SCALE, FREQ_SCALE, POWER_SCALE):
+        with pytest.raises(TypeError):
+            table["rogue"] = {}  # type: ignore[index]
+        with pytest.raises(TypeError):
+            table["cons"][45] = 2.0  # type: ignore[index]
+
+
+def test_registry_entries_are_consistent() -> None:
+    for key, spec in PLATFORM_REGISTRY.items():
+        assert spec.name == key
+        assert spec.n_cores >= 1
+        spec.node_config()  # must materialize without error
+        spec.policy()
+
+
+def test_default_platform_is_the_papers_testbed() -> None:
+    spec = PLATFORM_REGISTRY[DEFAULT_PLATFORM]
+    assert spec.n_cores == 1
+    assert not spec.is_multicore
+    assert tuple(spec.lead_class.table().frequencies_ghz()) == tuple(
+        ATHLON64_4000.frequencies_ghz()
+    )
+
+
+def test_registry_covers_the_issue_matrix() -> None:
+    """At least one N-core homogeneous part, one heterogeneous
+    big.LITTLE mix with distinct per-class ladders, and one
+    technology-node-scaled derivative."""
+    multis = [s for s in PLATFORM_REGISTRY.values() if s.is_multicore]
+    assert multis
+    hetero = [s for s in multis if len(s.core_classes) >= 2]
+    assert hetero
+    for spec in hetero:
+        ladders = {
+            tuple((p.frequency, p.voltage) for p in c.pstates)
+            for c in spec.core_classes
+        }
+        assert len(ladders) == len(spec.core_classes)
+    assert any("nm" in s.name and s.tech_nm != 45 for s in multis)
+
+
+def test_resolve_platform() -> None:
+    assert resolve_platform(DEFAULT_PLATFORM) is PLATFORM_REGISTRY[
+        DEFAULT_PLATFORM
+    ]
+    with pytest.raises(ConfigurationError, match="athlon64_4000"):
+        resolve_platform("pentium4")

@@ -94,10 +94,70 @@ def test_digest_stable_across_constructions() -> None:
         {"telemetry": True},
         {"fault": FaultSpec(kind="fan_fail", node=0, at=5.0, horizon=10.0)},
         {"ambient": ("rack_gradient", {"base": 28.0, "gradient": 5.0})},
+        {"platform": "athlon64_4000"},
     ],
 )
 def test_digest_distinguishes_every_field(overrides) -> None:
     assert cheap_spec().digest() != cheap_spec(**overrides).digest()
+
+
+# -- platform dimension --------------------------------------------------
+
+
+def test_canonical_omits_unset_platform() -> None:
+    """The digest-stability keystone: ``platform=None`` serializes to
+    exactly the pre-platform canonical form, so every digest (and every
+    cache entry) minted before the platform dimension existed stays
+    valid byte for byte."""
+    canonical = cheap_spec().canonical()
+    assert "platform" not in canonical
+    assert "platform" in cheap_spec(platform="athlon64_4000").canonical()
+
+
+def test_explicit_default_platform_is_digest_affecting() -> None:
+    """Naming the default silicon is not the same spec as naming none:
+    the explicit spec goes through the registry build path."""
+    assert (
+        cheap_spec().digest()
+        != cheap_spec(platform="athlon64_4000").digest()
+    )
+
+
+def test_platform_specs_distinguish_by_digest() -> None:
+    digests = {
+        cheap_spec(platform=name).digest()
+        for name in ("athlon64_4000", "multicore_8c_45nm", "biglittle_4p4e")
+    }
+    assert len(digests) == 3
+
+
+#: fig07's spec digests captured on the pre-platform tree (fixed pin
+#: version so the package version cannot mask a canonical-form drift).
+#: These must never change: they name live cache entries.
+_FIG07_PINNED = {
+    False: (
+        "1420d7ab8fae2cf9016acabf71a9bc378c67b2d1",
+        "626dfaae9e2f33f5d5a4d0698c06e35895df59ac",
+        "b845e07004946e1ff513537119887bf32ff552df",
+        "89e291278e2793401f9dfc0eda2ad7a85a2a769a",
+    ),
+    True: (
+        "8941ab7ca7012982dff350856ee6e6770d980f81",
+        "29fce7ce8fb6ea423f5ebece94e0a7fb73f833f7",
+        "9a2154dce40729a549fe3f18db187b6590315376",
+        "5f4995950f1ab2826f0b001dcff950e4fb152fad",
+    ),
+}
+
+
+@pytest.mark.parametrize("quick", [False, True], ids=["full", "quick"])
+def test_fig07_digests_match_pre_platform_pins(quick) -> None:
+    from repro.experiments.fig07_max_pwm import specs
+
+    digests = tuple(
+        s.digest(version="platform-pin-v1") for s in specs(quick=quick)
+    )
+    assert digests == _FIG07_PINNED[quick]
 
 
 def test_digest_folds_in_package_version() -> None:
