@@ -1,0 +1,268 @@
+"""Load-test the serve layer with a mixed hot/cold/duplicate replay.
+
+Drives a real :class:`ReproServer` (listening socket, HTTP parser, job
+ledger, executor, content-addressed cache) through the stdlib client
+with a replayed request trace shaped like sweep traffic:
+
+* **cold** — distinct specs never seen before (each must execute),
+* **duplicate** — concurrent copies of in-flight specs (dedup
+  followers: they must ride the leader, not execute),
+* **hot** — re-requests of already-cached digests against a fresh
+  server process sharing the cache directory (every one must be
+  satisfied from the cache without touching the queue).
+
+Before any timing is trusted the bench verifies the determinism
+contract across phases: the result bytes served hot must equal the
+bytes served cold for every digest.  Then it reports sustained
+completed-specs/sec for the cold+duplicate replay, per-POST latency
+quantiles, and hot-path requests/sec — and **gates** on a cache-hit
+throughput floor (exit non-zero below it)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full trace
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+
+The floor is deliberately conservative (an order of magnitude under a
+dev-container measurement) so the gate catches regressions that turn
+the O(1) cache path back into an execution, not host noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.runtime import RunSpec
+from repro.serve import ClientSession, ReproServer, ServeConfig
+
+HOST = "127.0.0.1"
+
+#: Hot-phase floor, cache-hit requests/sec.  A dev container sustains
+#: several hundred; below this the cache path has regressed to real work.
+CACHE_HIT_FLOOR_RPS = 25.0
+
+
+def build_trace(quick: bool, seed: int) -> Tuple[List[RunSpec], int]:
+    """The replayed specs and the duplicate factor.
+
+    Cold specs are one-node synthetic-profile runs with distinct seeds
+    (distinct digests, each cheap enough that the bench measures the
+    serving machinery, not the simulator).
+    """
+    n_cold = 6 if quick else 12
+    duplicates = 2 if quick else 3
+    specs = [
+        RunSpec.of(
+            "mixed_thermal_profile",
+            {"duration": 20.0},
+            rigs=[("constant_fan", {"duty": 0.45})],
+            n_nodes=1,
+            seed=seed + i,
+            timeout=120.0,
+        )
+        for i in range(n_cold)
+    ]
+    return specs, duplicates
+
+
+async def post_all(
+    sessions: List[ClientSession],
+    bodies: List[bytes],
+) -> Tuple[List[float], List[dict]]:
+    """POST every body round-robin across sessions; return latencies
+    (seconds) and response envelopes, in body order."""
+    latencies: List[float] = [0.0] * len(bodies)
+    envelopes: List[dict] = [{}] * len(bodies)
+
+    async def one(i: int, body: bytes) -> None:
+        session = sessions[i % len(sessions)]
+        t0 = time.perf_counter()
+        response = await session.request("POST", "/v1/runs", body)
+        latencies[i] = time.perf_counter() - t0
+        assert response.status in (200, 202), response.body
+        envelopes[i] = response.json_body()
+
+    # One task per session keeps each keep-alive connection sequential.
+    per_session: Dict[int, List[int]] = {}
+    for i in range(len(bodies)):
+        per_session.setdefault(i % len(sessions), []).append(i)
+
+    async def drain(indexes: List[int]) -> None:
+        for i in indexes:
+            await one(i, bodies[i])
+
+    await asyncio.gather(*(drain(ix) for ix in per_session.values()))
+    return latencies, envelopes
+
+
+async def wait_all_done(session: ClientSession, digests: List[str]) -> None:
+    for digest in dict.fromkeys(digests):
+        while True:
+            response = await session.request("GET", f"/v1/runs/{digest}")
+            assert response.status == 200, response.body
+            if response.json_body()["status"] in ("done", "failed"):
+                assert response.json_body()["status"] == "done", response.body
+                break
+            await asyncio.sleep(0.01)
+
+
+async def fetch_results(
+    session: ClientSession, digests: List[str]
+) -> Dict[str, bytes]:
+    out: Dict[str, bytes] = {}
+    for digest in dict.fromkeys(digests):
+        response = await session.request("GET", f"/v1/runs/{digest}/result")
+        assert response.status == 200, response.body
+        out[digest] = response.body
+    return out
+
+
+async def run_bench(args) -> dict:
+    specs, duplicates = build_trace(args.quick, args.seed)
+    bodies = [spec.to_json().encode("utf-8") for spec in specs]
+    # The mixed trace: every cold body, then duplicate copies woven in
+    # (round-robin) so copies land while their leaders are in flight.
+    trace = bodies * duplicates
+    concurrency = 4
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        # -- phase A: cold + duplicates ---------------------------------
+        server = ReproServer(
+            ServeConfig(port=0, cache_dir=cache_dir, batch_window=0.02)
+        )
+        await server.start()
+        sessions = [
+            ClientSession(HOST, server.port) for _ in range(concurrency)
+        ]
+        t0 = time.perf_counter()
+        post_latencies, envelopes = await post_all(sessions, trace)
+        digests = [e["digest"] for e in envelopes]
+        await wait_all_done(sessions[0], digests)
+        cold_wall = time.perf_counter() - t0
+        cold_results = await fetch_results(sessions[0], digests)
+        snapshot = server.registry.snapshot()
+        followers = snapshot.value("serve.runs.dedup_followers")
+        executed = snapshot.total("host.exec.executed")
+        for session in sessions:
+            await session.close()
+        await server.stop()
+
+        expected_followers = len(trace) - len(specs)
+        assert executed == len(specs), (
+            f"duplicates leaked into execution: {executed} != {len(specs)}"
+        )
+        assert followers == expected_followers, (
+            f"follower count {followers} != {expected_followers}"
+        )
+
+        # -- phase B: hot (fresh server, warm cache) --------------------
+        rounds = 3 if args.quick else 5
+        server = ReproServer(
+            ServeConfig(port=0, cache_dir=cache_dir, batch_window=0.02)
+        )
+        await server.start()
+        sessions = [
+            ClientSession(HOST, server.port) for _ in range(concurrency)
+        ]
+        t0 = time.perf_counter()
+        hot_latencies, hot_envelopes = await post_all(
+            sessions, bodies * rounds
+        )
+        hot_wall = time.perf_counter() - t0
+        for envelope in hot_envelopes:
+            assert envelope["status"] == "done", envelope
+        hot_results = await fetch_results(
+            sessions[0], [e["digest"] for e in hot_envelopes]
+        )
+        snapshot = server.registry.snapshot()
+        cache_hits = snapshot.value("serve.runs.cache_hits")
+        hot_executed = snapshot.total("host.exec.executed")
+        for session in sessions:
+            await session.close()
+        await server.stop()
+
+        assert hot_executed == 0, "hot phase executed a spec"
+        assert cache_hits == len(specs), "hot phase missed the cache"
+
+    # Determinism across phases before any timing is trusted.
+    assert cold_results == hot_results, "hot bytes differ from cold bytes"
+
+    hot_requests = len(bodies) * rounds
+    return {
+        "benchmark": "serve replay load test (cold + duplicate + hot)",
+        "quick": args.quick,
+        "seed": args.seed,
+        "cold_specs": len(specs),
+        "duplicate_factor": duplicates,
+        "trace_requests": len(trace),
+        "cold_wall_s": round(cold_wall, 3),
+        "sustained_specs_per_s": round(len(specs) / cold_wall, 2),
+        "post_latency_p50_ms": round(
+            statistics.median(post_latencies) * 1e3, 3
+        ),
+        "post_latency_p99_ms": round(
+            statistics.quantiles(post_latencies, n=100)[98] * 1e3, 3
+        ),
+        "hot_requests": hot_requests,
+        "hot_wall_s": round(hot_wall, 3),
+        "cache_hit_rps": round(hot_requests / hot_wall, 2),
+        "hot_latency_p50_ms": round(
+            statistics.median(hot_latencies) * 1e3, 3
+        ),
+        "hot_latency_p99_ms": round(
+            statistics.quantiles(hot_latencies, n=100)[98] * 1e3, 3
+        ),
+        "cache_hit_floor_rps": CACHE_HIT_FLOOR_RPS,
+        "byte_identical_hot_vs_cold": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=600)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    payload = asyncio.run(run_bench(args))
+    ok = payload["cache_hit_rps"] >= CACHE_HIT_FLOOR_RPS
+    payload["gate"] = "pass" if ok else "fail"
+
+    print(
+        f"cold replay : {payload['trace_requests']} requests "
+        f"({payload['cold_specs']} distinct) in {payload['cold_wall_s']}s "
+        f"-> {payload['sustained_specs_per_s']} specs/s"
+    )
+    print(
+        f"POST latency: p50 {payload['post_latency_p50_ms']}ms  "
+        f"p99 {payload['post_latency_p99_ms']}ms"
+    )
+    print(
+        f"hot replay  : {payload['hot_requests']} requests in "
+        f"{payload['hot_wall_s']}s -> {payload['cache_hit_rps']} rps "
+        f"(p50 {payload['hot_latency_p50_ms']}ms, "
+        f"p99 {payload['hot_latency_p99_ms']}ms)"
+    )
+    print(
+        f"gate        : {'PASS' if ok else 'FAIL'} "
+        f"(cache-hit floor >= {CACHE_HIT_FLOOR_RPS} rps)"
+    )
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Usage::
     python -m repro run fig7 --fastpath
     python -m repro run fig5 --quick --telemetry=jsonl
     python -m repro telemetry fig5 --limit 20
+    python -m repro serve --port 8080 --jobs 4 --cache-dir .repro-cache
 
 Each experiment prints its paper-style table; ``all`` runs the whole
 evaluation section in order (several minutes of simulated cluster
@@ -259,6 +260,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve simulations over HTTP (POST RunSpec JSON to /v1/runs)",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (default 8080; 0 picks an ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cold runs (default 1: serial)",
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: no cache)",
+    )
+    serve_p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control bound on queued runs (overflow -> 429; "
+        "default 64)",
+    )
+    serve_p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="coalescing window before dispatching queued runs, so "
+        "compatible sweep traffic batches through the lockstep stepper "
+        "(default 0.05)",
+    )
+    serve_p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="never group queued fastpath specs into lockstep batches",
+    )
+
     sub.add_parser(
         "lint",
         help="run the repro.lint invariant checker (see 'repro-lint --help')",
@@ -350,6 +402,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {path}", file=sys.stderr)
         else:
             print(text)
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from .serve import ServeConfig, serve_forever
+
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            queue_depth=args.queue_depth,
+            batch_window=args.batch_window,
+            batch=not args.no_batch,
+        )
+        try:
+            asyncio.run(serve_forever(config))
+        except KeyboardInterrupt:
+            print("repro.serve: shutting down")
         return 0
 
     if args.command == "series":

@@ -2,7 +2,9 @@
 
 Each top-level component of ``repro`` is assigned to exactly one layer;
 an *eager* (module-level, non-``TYPE_CHECKING``) import may only point
-sideways or downwards.  Lazy function-scoped imports are exempt — they
+sideways or downwards.  ``serve`` sits above the experiments layer —
+the service consumes the runtime and telemetry layers but nothing may
+reach up into it except the CLI.  Lazy function-scoped imports are exempt — they
 are the sanctioned escape hatch for the handful of intentional upward
 hops (``sim.engine`` → ``fastpath.loop``, ``runtime.execute`` →
 ``experiments.platform``) documented in ``docs/static_analysis.md``.
@@ -28,7 +30,8 @@ LAYER_TABLE: Tuple[Tuple[int, Tuple[str, ...]], ...] = (
     (5, ("cluster",)),
     (6, ("fastpath", "runtime", "analysis")),
     (7, ("experiments",)),
-    (8, ("cli", "__main__", "<root>")),
+    (8, ("serve",)),
+    (9, ("cli", "__main__", "<root>")),
 )
 
 #: component name -> layer number.

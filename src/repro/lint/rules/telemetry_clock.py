@@ -1,4 +1,4 @@
-"""RPR008 — telemetry is sim-clock only: no wall-clock access at all.
+"""RPR008 — telemetry and serving code is clock-disciplined.
 
 The telemetry subsystem's determinism contract (``docs/observability.md``)
 is that every sim-side record is a pure function of ``(spec, seed)`` —
@@ -15,6 +15,15 @@ So this rule is blunt by design: within any ``telemetry/`` directory,
 *importing* ``time`` or ``datetime`` (or any submodule/name from them)
 is a finding.  Every timestamp a telemetry module handles must arrive
 as a caller-supplied simulation-clock value.
+
+The serving layer (``docs/serving.md``) extends the same discipline
+with one explicit exemption: within any ``serve/`` directory the same
+imports are findings **except** in the sanctioned clock shim module
+(``clockshim.py``), which is the single seam every host-clock read of
+the request path flows through.  A served result summary must be
+byte-identical to a local ``repro run`` of the same spec; funnelling
+the serving layer's clocks through one exempted file keeps "could a
+timestamp leak into a response body?" answerable by inspection.
 """
 
 from __future__ import annotations
@@ -26,23 +35,38 @@ from ..base import Finding, Rule, RuleContext
 
 __all__ = ["TelemetryClockRule"]
 
-#: Modules whose import (or from-import) is banned in telemetry code.
+#: Modules whose import (or from-import) is banned in clock-disciplined code.
 _BANNED_MODULES = frozenset({"time", "datetime"})
+
+#: The one module under ``serve/`` allowed to import the banned modules.
+_SERVE_CLOCK_SHIM = "clockshim"
 
 
 class TelemetryClockRule(Rule):
-    """Telemetry modules must not import time/datetime at all."""
+    """telemetry/ and serve/ modules must not import time/datetime."""
 
     code = "RPR008"
     name = "telemetry-clock"
     description = (
-        "telemetry/ modules are sim-clock only: no 'time' or 'datetime' "
-        "imports (wall time lives in runtime/executor host.* metrics)"
+        "telemetry/ and serve/ modules are clock-disciplined: no 'time' or "
+        "'datetime' imports (wall time lives in runtime/executor host.* "
+        "metrics; the serving layer's one seam is serve/clockshim.py)"
     )
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:
-        if not ctx.path_has_part("telemetry"):
+        if ctx.path_has_part("telemetry"):
+            where = "telemetry"
+        elif ctx.path_has_part("serve") and ctx.path.stem != _SERVE_CLOCK_SHIM:
+            where = "serve"
+        else:
             return
+        hint = (
+            "sim-side records must use caller-supplied sim time (wall time "
+            "is host.*-only, in runtime/executor)"
+            if where == "telemetry"
+            else "serving code must read host clocks through the sanctioned "
+            "serve/clockshim.py seam only"
+        )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -51,10 +75,8 @@ class TelemetryClockRule(Rule):
                         yield self.finding(
                             ctx,
                             node,
-                            f"import of {alias.name!r} in telemetry code: "
-                            "sim-side records must use caller-supplied sim "
-                            "time (wall time is host.*-only, in "
-                            "runtime/executor)",
+                            f"import of {alias.name!r} in {where} code: "
+                            f"{hint}",
                         )
             elif isinstance(node, ast.ImportFrom):
                 if node.level != 0 or node.module is None:
@@ -64,7 +86,6 @@ class TelemetryClockRule(Rule):
                     yield self.finding(
                         ctx,
                         node,
-                        f"from-import of {node.module!r} in telemetry code: "
-                        "sim-side records must use caller-supplied sim time "
-                        "(wall time is host.*-only, in runtime/executor)",
+                        f"from-import of {node.module!r} in {where} code: "
+                        f"{hint}",
                     )

@@ -266,6 +266,18 @@ class RunExecutor:
         """Run (or fetch) a single spec."""
         return self.map([spec])[0]
 
+    def cached(self, spec: RunSpec) -> Optional[RunResult]:
+        """Probe the on-disk cache for a spec without running anything.
+
+        Returns the cached :class:`RunResult` or ``None`` (no cache
+        directory, no entry, or a corrupt entry — all indistinguishable
+        by design).  A probe is *not* a hit: it does not touch the
+        ``host.cache.*`` counters, so :class:`ExecutorStats` keeps
+        meaning "what :meth:`map` did".  The serving layer uses this to
+        answer hot requests without occupying a queue slot.
+        """
+        return self._cache_load(spec)
+
     def map(
         self, specs: Sequence[RunSpec], batch: Optional[bool] = None
     ) -> List[RunResult]:

@@ -141,6 +141,134 @@ def _as_rig(entry: Union[str, "RigSpec", Tuple[str, Mapping[str, Any]]]) -> RigS
     return RigSpec(name=name, params=freeze_params(params))
 
 
+# -- JSON wire-form parsing helpers (RunSpec.from_json) ----------------------
+
+
+def _typed(data: Mapping[str, Any], key: str, kind: type, default: Any) -> Any:
+    """``data[key]`` checked against ``kind`` (``default`` when absent)."""
+    value = data.get(key, default)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"spec {key!r} must be {kind.__name__}, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return value
+
+
+def _int_field(data: Mapping[str, Any], key: str, default: int) -> int:
+    return _typed(data, key, int, default)
+
+
+def _float_field(data: Mapping[str, Any], key: str, default: float) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"spec {key!r} must be a number, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return float(value)
+
+
+def _bool_field(data: Mapping[str, Any], key: str) -> bool:
+    value = data.get(key, False)
+    if not isinstance(value, bool):
+        raise ConfigurationError(
+            f"spec {key!r} must be a boolean, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return value
+
+
+def _optional_str_field(data: Mapping[str, Any], key: str) -> Optional[str]:
+    value = data.get(key)
+    if value is not None and not isinstance(value, str):
+        raise ConfigurationError(
+            f"spec {key!r} must be a string or null, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return value
+
+
+def _params_from_json(raw: Any, where: str) -> Params:
+    """Parse parameters from the pair-list or object wire shapes."""
+    if isinstance(raw, Mapping):
+        return freeze_params(raw)
+    if isinstance(raw, (list, tuple)):
+        pairs = {}
+        for entry in raw:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+            ):
+                raise ConfigurationError(
+                    f"spec {where} entries must be [\"key\", value] pairs, "
+                    f"got {entry!r}"
+                )
+            pairs[entry[0]] = entry[1]
+        return freeze_params(pairs)
+    raise ConfigurationError(
+        f"spec {where} must be an object or a list of pairs, got {raw!r} "
+        f"({type(raw).__name__})"
+    )
+
+
+def _rig_from_json(raw: Any, where: str) -> RigSpec:
+    """Parse one rig/ambient entry (``"name"`` or ``{"name", "params"}``)."""
+    if isinstance(raw, str):
+        return RigSpec(name=raw)
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"spec {where} must be a rig name or object, got {raw!r} "
+            f"({type(raw).__name__})"
+        )
+    unknown = sorted(set(raw) - {"name", "params"})
+    if unknown:
+        raise ConfigurationError(
+            f"spec {where} has unknown key(s) {unknown}; expected "
+            "'name' and optional 'params'"
+        )
+    name = raw.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"spec {where} 'name' must be a non-empty string, got {name!r}"
+        )
+    return RigSpec(name=name, params=_params_from_json(
+        raw.get("params", ()), f"{where}.params"
+    ))
+
+
+def _fault_from_json(raw: Any) -> Optional[FaultSpec]:
+    """Parse the optional fault object."""
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"spec 'fault' must be an object or null, got {raw!r} "
+            f"({type(raw).__name__})"
+        )
+    unknown = sorted(set(raw) - {"kind", "node", "at", "horizon"})
+    if unknown:
+        raise ConfigurationError(
+            f"spec 'fault' has unknown key(s) {unknown}; expected "
+            "kind/node/at/horizon"
+        )
+    kind = raw.get("kind", "fan_fail")
+    if not isinstance(kind, str) or not kind:
+        raise ConfigurationError(
+            f"spec fault 'kind' must be a non-empty string, got {kind!r}"
+        )
+    try:
+        return FaultSpec(
+            kind=kind,
+            node=_int_field(raw, "node", default=0),
+            at=_float_field(raw, "at", default=40.0),
+            horizon=_float_field(raw, "horizon", default=420.0),
+        )
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"in spec 'fault': {exc}") from None
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """A complete, declarative name for one cluster simulation.
@@ -241,6 +369,99 @@ class RunSpec:
             fastpath=fastpath,
             platform=platform,
         )
+
+    def to_json(self) -> str:
+        """The public JSON wire form of this spec.
+
+        Exactly :meth:`canonical` — the digest input *is* the wire
+        form, so a client can compute the digest of what it POSTs and
+        the server recovers an equal spec with :meth:`from_json`:
+        ``RunSpec.from_json(spec.to_json()) == spec`` always holds.
+        """
+        return self.canonical()
+
+    @classmethod
+    def from_json(cls, payload: Union[str, bytes]) -> "RunSpec":
+        """Parse the JSON wire form back into a spec.
+
+        This is the request-validation seam of the serving layer
+        (``POST /v1/runs`` bodies land here): every malformed payload —
+        bad JSON, wrong top-level type, unknown or missing fields,
+        wrong field types, malformed rigs/fault/params — raises
+        :class:`~repro.errors.ConfigurationError` with a message naming
+        the offending field, never a bare ``KeyError``/``TypeError``.
+
+        Accepted parameter shapes are the canonical pair list
+        (``[["key", value], ...]``) *and* a plain JSON object
+        (``{"key": value}``) — hand-written clients get the friendly
+        form, round-trips get exactness.  Numeric protocol fields
+        (``timeout``, ``tail``, fault ``at``/``horizon``) are coerced
+        to float so ``3600`` and ``3600.0`` name the same spec (and
+        hence the same digest).
+        """
+        if isinstance(payload, bytes):
+            try:
+                payload = payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ConfigurationError(
+                    f"spec payload is not valid UTF-8: {exc}"
+                ) from None
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"spec payload is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "spec payload must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        if "workload" not in data:
+            raise ConfigurationError("spec payload is missing 'workload'")
+        workload = data["workload"]
+        if not isinstance(workload, str) or not workload:
+            raise ConfigurationError(
+                f"spec 'workload' must be a non-empty string, got {workload!r}"
+            )
+        try:
+            return cls(
+                workload=workload,
+                workload_params=_params_from_json(
+                    data.get("workload_params", ()), "workload_params"
+                ),
+                rigs=tuple(
+                    _rig_from_json(entry, f"rigs[{i}]")
+                    for i, entry in enumerate(
+                        _typed(data, "rigs", list, default=[])
+                    )
+                ),
+                n_nodes=_int_field(data, "n_nodes", default=4),
+                seed=_int_field(data, "seed", default=DEFAULT_SEED),
+                ambient=(
+                    None
+                    if data.get("ambient") is None
+                    else _rig_from_json(data["ambient"], "ambient")
+                ),
+                fault=_fault_from_json(data.get("fault")),
+                timeout=_float_field(data, "timeout", default=3600.0),
+                tail=_float_field(data, "tail", default=0.0),
+                quick=_bool_field(data, "quick"),
+                telemetry=_bool_field(data, "telemetry"),
+                fastpath=_bool_field(data, "fastpath"),
+                platform=_optional_str_field(data, "platform"),
+            )
+        except ConfigurationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed spec payload: {exc}") from None
 
     def canonical(self) -> str:
         """Deterministic JSON form (the digest input; also debuggable).

@@ -1,0 +1,52 @@
+"""``repro.serve`` — simulation-as-a-service on the runtime layer.
+
+A stdlib-only (``asyncio``, hand-rolled HTTP/1.1 — no ``http.server``)
+async job server that turns the repo's request-path ingredients —
+digest-keyed frozen :class:`~repro.runtime.spec.RunSpec`\\ s, the
+content-addressed result cache, in-flight dedup and the lockstep batch
+stepper — into an actual service:
+
+.. code-block:: console
+
+    $ repro serve --port 8080 --jobs 4 --cache-dir .repro-cache
+    $ curl -X POST localhost:8080/v1/runs -d "$(spec_json)"   # 202 queued
+    $ curl localhost:8080/v1/runs/<digest>                    # poll status
+    $ curl localhost:8080/v1/runs/<digest>/result             # canonical bytes
+    $ curl localhost:8080/metrics                             # Prometheus
+
+The architecture is three small pieces over the existing runtime:
+
+* :mod:`repro.serve.http` — request parsing / response framing on raw
+  asyncio streams;
+* :mod:`repro.serve.jobs` — the content-addressed job ledger:
+  admission control (bounded queue, 429 overflow), in-flight dedup
+  (followers await the leader's future) and windowed batch coalescing
+  into :meth:`RunExecutor.map`;
+* :mod:`repro.serve.server` — routing, metrics and lifecycle.
+
+Determinism contract: a served result summary is **byte-identical** to
+what ``repro run`` produces for the same spec (see
+:mod:`repro.serve.payloads` and ``docs/serving.md``), and no module in
+this package may import ``time``/``datetime`` outside the
+:mod:`~repro.serve.clockshim` seam — lint rule RPR008 extends the
+telemetry clock discipline over the whole package.
+"""
+
+from .client import ClientResponse, ClientSession, request
+from .jobs import Job, JobManager, QueueFull
+from .payloads import result_summary, summary_bytes
+from .server import ReproServer, ServeConfig, serve_forever
+
+__all__ = [
+    "ClientResponse",
+    "ClientSession",
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "ReproServer",
+    "ServeConfig",
+    "request",
+    "result_summary",
+    "serve_forever",
+    "summary_bytes",
+]

@@ -1,0 +1,37 @@
+"""The one sanctioned wall-clock seam of the serving layer.
+
+``repro.serve`` extends the telemetry subsystem's clock discipline
+(lint rule RPR008) to the request path: no module under ``serve/`` may
+import ``time`` or ``datetime`` — except this one.  Every wall-clock
+read the server makes (request latency, queue wait, load-test timing)
+flows through :func:`perf_counter`, so the entire surface where
+nondeterminism can enter the serving layer is this file, and the
+linter proves it stays that way.
+
+Why so strict, when the server is host-side code that RPR001 would
+happily let read ``perf_counter`` directly?  Because the serving
+layer's determinism contract is *result-level*: a served
+:class:`~repro.cluster.cluster.RunResult` summary must be byte-identical
+to what ``repro run`` produces for the same spec.  Funnelling every
+clock read through one module makes "could a timestamp leak into a
+response body?" a grep-sized question instead of an audit.  Epoch time
+(``time.time``) is deliberately not re-exported: nothing in the serving
+layer has a legitimate use for absolute timestamps, and RPR001 bans the
+call everywhere anyway.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_counter"]
+
+
+def perf_counter() -> float:
+    """Monotonic host clock, seconds (latency and throughput timing).
+
+    Host-side timing only: values from this clock feed ``serve.*`` and
+    ``host.*`` metrics and log lines, never a response body — bodies
+    are pure functions of the spec (the serving determinism contract).
+    """
+    return time.perf_counter()

@@ -1,0 +1,24 @@
+"""RPR011 fixture — the serving layer eagerly importing the CLI.
+
+``serve`` sits in layer 8 of the declared DAG; ``cli`` in layer 9.
+The dependency arrow points the other way — the CLI starts the server,
+never vice versa — so the module-level import below must be flagged.
+The function-scoped import of the same module is the sanctioned lazy
+idiom and must NOT be flagged.
+"""
+
+from repro import cli
+
+__all__ = ["banner", "parser_prog"]
+
+
+def banner() -> str:
+    """Uses the eagerly-imported upper layer (the import is the bug)."""
+    return "serving via " + cli.__name__
+
+
+def parser_prog() -> str:
+    """Lazy upward import: executes at call time, exempt by design."""
+    from repro import cli as command_line
+
+    return command_line.__name__

@@ -1,0 +1,15 @@
+"""Known-good fixture: the sanctioned clock shim under ``serve/``.
+
+Same banned import as ``rpr008_serve_wallclock.py`` in the same
+directory — but this file is named ``clockshim.py``, the single seam
+RPR008 exempts, so the linter must exit clean.
+"""
+
+from time import perf_counter as _perf_counter
+
+__all__ = ["perf_counter"]
+
+
+def perf_counter() -> float:
+    """The one sanctioned host-clock read for serving code."""
+    return _perf_counter()

@@ -1,0 +1,21 @@
+"""Known-bad fixture: raw clock imports in a serve module outside the shim.
+
+The serving layer gets exactly one host-clock seam —
+``serve/clockshim.py``.  This file lives under ``serve/`` but is *not*
+the shim, so both imports below must be flagged even though they are
+RPR001-clean (``perf_counter`` reads are tolerated elsewhere).  This is
+the proof that the clock-shim exemption is by-filename, not
+by-directory: it must not let raw ``time`` imports through anywhere
+else in ``serve/``.
+"""
+
+import time
+from datetime import timedelta
+
+__all__ = ["request_latency_seconds"]
+
+
+def request_latency_seconds(started: float) -> float:
+    """Times a request from a raw host clock: banned outside the shim."""
+    _ = timedelta
+    return time.perf_counter() - started

@@ -33,10 +33,16 @@ BAD_FIXTURES = {
     "RPR005": ("rpr005_hygiene.py",),
     "RPR006": ("experiments/rpr006_run.py",),
     "RPR007": ("experiments/rpr007_direct_run.py",),
-    "RPR008": ("telemetry/rpr008_wallclock.py",),
+    "RPR008": (
+        "telemetry/rpr008_wallclock.py",
+        "serve/rpr008_serve_wallclock.py",
+    ),
     "RPR009": ("fastpath/rpr009_allocation.py",),
     "RPR010": ("graph/rpr010/repro/fastpath/hot_transitive.py",),
-    "RPR011": ("graph/rpr011/repro/thermal/upward_import.py",),
+    "RPR011": (
+        "graph/rpr011/repro/thermal/upward_import.py",
+        "graph/rpr011/repro/serve/upward_import.py",
+    ),
     "RPR012": (
         "graph/rpr012/repro/governors/wrapped.py",
         "graph/rpr012/repro/core/impure.py",
@@ -93,7 +99,9 @@ def test_bad_fixture_fails_cli(code: str, relpaths: tuple) -> None:
         assert f" {code} " in line, line
 
 
-@pytest.mark.parametrize("relpath", ["clean.py", "suppressed.py"])
+@pytest.mark.parametrize(
+    "relpath", ["clean.py", "suppressed.py", "serve/clockshim.py"]
+)
 def test_good_fixture_exits_zero(relpath: str) -> None:
     result = run_lint_cli(str(FIXTURES / relpath))
     assert result.returncode == 0, result.stdout + result.stderr

@@ -70,6 +70,23 @@ def test_duplicate_specs_execute_once() -> None:
     assert executor.stats.deduplicated == 1
 
 
+def test_many_duplicate_specs_stress() -> None:
+    """The serving layer's dedup depends on this scaling: N copies of
+    one digest in a single map() call execute exactly once, every
+    position gets the one result, and the registry counter agrees."""
+    spec = specs_pair()[0]
+    copies = 25
+    executor = RunExecutor()
+    results = executor.map([spec] * copies)
+    assert len(results) == copies
+    assert all(r is results[0] for r in results)
+    assert executor.stats.executed == 1
+    assert executor.stats.deduplicated == copies - 1
+    snapshot = executor.registry.snapshot()
+    assert snapshot.value("host.exec.deduplicated") == float(copies - 1)
+    assert snapshot.value("host.exec.executed") == 1.0
+
+
 def test_results_keep_spec_order() -> None:
     specs = specs_pair()
     results = RunExecutor(jobs=2).map(specs)

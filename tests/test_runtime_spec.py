@@ -257,3 +257,94 @@ def test_freeze_params_rejects_non_finite_floats() -> None:
 def test_non_finite_floats_rejected_at_spec_construction() -> None:
     with pytest.raises(ConfigurationError, match="not finite"):
         RunSpec.of("mixed_thermal_profile", {"duration": float("nan")})
+
+
+# -- JSON wire form ------------------------------------------------------
+
+
+def test_to_json_round_trips_exactly() -> None:
+    """from_json(to_json(spec)) == spec for every field combination the
+    serving layer can see, including digest equality."""
+    specs = [
+        cheap_spec(),
+        cheap_spec(seed=3, tail=12.5, quick=True, telemetry=True),
+        cheap_spec(fastpath=True, platform="dell_poweredge_1855"),
+        cheap_spec(
+            ambient=("sinusoid_ambient", {"mean": 298.0}),
+            fault=FaultSpec(kind="fan_fail", node=0, at=40.0, horizon=90.0),
+        ),
+    ]
+    for spec in specs:
+        recovered = RunSpec.from_json(spec.to_json())
+        assert recovered == spec
+        assert recovered.digest() == spec.digest()
+        # to_json is the canonical form, so round-tripping is bytewise
+        # stable: the wire form of the recovered spec is identical.
+        assert recovered.to_json() == spec.to_json()
+
+
+def test_from_json_accepts_plain_object_params() -> None:
+    """Hand-written clients may send params as a JSON object; the pair
+    list and the object spell the same spec (and digest)."""
+    import json as _json
+
+    wire = _json.loads(cheap_spec().to_json())
+    assert isinstance(wire["workload_params"], list)  # canonical pair list
+    wire["workload_params"] = dict(wire["workload_params"])
+    wire["rigs"] = [
+        {"name": rig["name"], "params": dict(rig["params"])}
+        for rig in wire["rigs"]
+    ]
+    assert RunSpec.from_json(_json.dumps(wire)) == cheap_spec()
+
+
+def test_from_json_coerces_protocol_floats() -> None:
+    """``3600`` and ``3600.0`` must name the same spec."""
+    import json as _json
+
+    wire = _json.loads(cheap_spec().to_json())
+    wire["timeout"] = 120  # int spelling of the canonical 120.0
+    assert RunSpec.from_json(_json.dumps(wire)) == cheap_spec()
+
+
+@pytest.mark.parametrize(
+    "payload,needle",
+    [
+        ("{not json", "not valid JSON"),
+        (b"\xff\xfe", "not valid UTF-8"),
+        ("[1, 2]", "must be a JSON object"),
+        ("{}", "missing 'workload'"),
+        ('{"workload": 7}', "'workload'"),
+        ('{"workload": ""}', "'workload'"),
+        ('{"workload": "x", "surprise": 1}', "unknown spec field"),
+        ('{"workload": "x", "n_nodes": "four"}', "n_nodes"),
+        ('{"workload": "x", "n_nodes": true}', "n_nodes"),
+        ('{"workload": "x", "timeout": "soon"}', "timeout"),
+        ('{"workload": "x", "quick": 1}', "quick"),
+        ('{"workload": "x", "rigs": "constant_fan"}', "rigs"),
+        ('{"workload": "x", "rigs": [42]}', "rigs[0]"),
+        ('{"workload": "x", "rigs": [{"params": []}]}', "rigs[0]"),
+        (
+            '{"workload": "x", "rigs": [{"name": "f", "extra": 1}]}',
+            "rigs[0]",
+        ),
+        ('{"workload": "x", "workload_params": 5}', "workload_params"),
+        (
+            '{"workload": "x", "workload_params": [["a"]]}',
+            "workload_params",
+        ),
+        ('{"workload": "x", "fault": 3}', "fault"),
+        ('{"workload": "x", "fault": {"node": "zero"}}', "fault"),
+        ('{"workload": "x", "platform": 9}', "platform"),
+    ],
+)
+def test_from_json_malformed_payloads_are_config_errors(
+    payload, needle
+) -> None:
+    """Every malformed payload raises ConfigurationError naming the
+    offending field — never a bare KeyError/TypeError (the 400 the
+    serving layer returns is built from this message)."""
+    import re
+
+    with pytest.raises(ConfigurationError, match="(?s)" + re.escape(needle)):
+        RunSpec.from_json(payload)
