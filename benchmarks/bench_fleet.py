@@ -1,0 +1,152 @@
+"""Baseline the sharded fleet engine: equivalence first, speedup second.
+
+Simulates one 64-node fleet (8 racks x 8 nodes, imbalanced load, a
+fleet power budget and a mid-run hot-aisle fault — the heaviest
+realistic configuration) at ``shards=1`` and ``shards=4``, asserts the
+two results are **bitwise identical** (``FleetResult.canonical_bytes``,
+the engine's equivalence gate) before trusting any timing, and writes
+``BENCH_fleet.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full fleet
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick    # CI smoke
+
+Two gates, scaled to the host:
+
+* **equivalence** — always enforced; a byte of divergence exits
+  non-zero.
+* **speedup** — sharding is process parallelism, so the 2x floor for
+  the 4-shard leg is enforced only on hosts with >= 4 CPUs.  On
+  smaller hosts the wall times are still recorded (with the honest
+  ``cpus`` count) but the floor is reported ``"skipped"`` — a
+  single-CPU container cannot demonstrate a parallel speedup and
+  pretending otherwise would poison cross-PR comparisons.
+
+Throughput is reported as node-ticks/s (nodes x physics ticks / wall
+second) for each leg so future PRs can track the per-node stepping
+cost independently of topology choices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet import FleetFaultSpec, FleetSpec, run_fleet
+from repro.runtime import DEFAULT_SEED
+
+SPEEDUP_FLOOR = 2.0
+MIN_CPUS_FOR_SPEEDUP_GATE = 4
+PARALLEL_SHARDS = 4
+
+
+def bench_spec(seed: int, quick: bool) -> FleetSpec:
+    """The benchmark fleet: 64 nodes, capped, faulted mid-run."""
+    racks, nodes = (4, 4) if quick else (8, 8)
+    horizon = 20.0 if quick else 90.0
+    return FleetSpec(
+        racks=racks,
+        nodes_per_rack=nodes,
+        horizon=horizon,
+        seed=seed,
+        workload="imbalance",
+        power_budget=45.0 * racks * nodes,
+        fault=FleetFaultSpec(rack=0, at=horizon / 3.0),
+        quick=quick,
+    )
+
+
+def _time_leg(spec: FleetSpec, shards: int, repeats: int):
+    """Median wall seconds and the last run's result for one leg."""
+    walls, result = [], None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_fleet(spec, shards=shards)
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls), result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    repeats = 2 if args.quick else 3
+    spec = bench_spec(args.seed, args.quick)
+    node_ticks = spec.total_nodes * spec.total_ticks()
+    print(
+        f"fleet: {spec.describe()}  "
+        f"({spec.total_nodes} nodes, {spec.total_ticks()} ticks, "
+        f"{spec.epochs()} epochs; host has {cpus} CPU(s))"
+    )
+
+    serial_s, serial = _time_leg(spec, shards=1, repeats=repeats)
+    print(
+        f"shards=1 : {serial_s:7.2f}s median  "
+        f"({node_ticks / serial_s:,.0f} node-ticks/s)"
+    )
+    sharded_s, sharded = _time_leg(
+        spec, shards=PARALLEL_SHARDS, repeats=repeats
+    )
+    print(
+        f"shards={PARALLEL_SHARDS} : {sharded_s:7.2f}s median  "
+        f"({node_ticks / sharded_s:,.0f} node-ticks/s)"
+    )
+
+    print("verifying shards=1 == shards=4 bitwise ...", end=" ")
+    equivalent = serial.canonical_bytes() == sharded.canonical_bytes()
+    print("identical" if equivalent else "DIVERGED")
+
+    speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+    gate_speedup = cpus >= MIN_CPUS_FOR_SPEEDUP_GATE
+    speedup_ok = (not gate_speedup) or speedup >= SPEEDUP_FLOOR
+    ok = equivalent and speedup_ok
+    print(f"speedup   : {speedup:6.2f}x  (floor {SPEEDUP_FLOOR}x, "
+          + ("enforced" if gate_speedup
+             else f"skipped: {cpus} CPU(s) < {MIN_CPUS_FOR_SPEEDUP_GATE}")
+          + ")")
+    print("gate      :", "PASS" if ok else "FAIL")
+
+    payload = {
+        "benchmark": "sharded fleet engine (shards=1 vs shards=4)",
+        "fleet": spec.describe(),
+        "nodes": spec.total_nodes,
+        "node_ticks": node_ticks,
+        "quick": args.quick,
+        "seed": args.seed,
+        "repeats": repeats,
+        "cpus": cpus,
+        "serial_wall_s": round(serial_s, 3),
+        "sharded_wall_s": round(sharded_s, 3),
+        "serial_node_ticks_per_s": round(node_ticks / serial_s),
+        "sharded_node_ticks_per_s": round(node_ticks / sharded_s),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_gate": (
+            ("pass" if speedup >= SPEEDUP_FLOOR else "fail")
+            if gate_speedup
+            else "skipped (needs >= 4 CPUs)"
+        ),
+        "equivalent": equivalent,
+        "gate": "pass" if ok else "fail",
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ compare against this PR's numbers::
     PYTHONPATH=src python benchmarks/bench_runtime.py --quick    # smoke
 
 The JSON records the run count, the wall time of each leg, the
-parallel and cache speedups, and the host's CPU count.  The parallel
+parallel and cache speedups, the pool-reuse comparison (two sweeps on
+fresh executors vs two sweeps sharing one persistent worker pool), and
+the host's CPU count.  The parallel
 acceptance floor is a 1.5x speedup at ``--jobs 4`` — reachable only
 when the host actually has cores to fan out over (``cpus >= 2``); on a
 single-core host the pool can only add overhead, and the report says
@@ -35,7 +37,26 @@ def _time_sweep(specs, jobs: int, cache_dir=None):
     executor = RunExecutor(jobs=jobs, cache_dir=cache_dir)
     t0 = time.perf_counter()
     executor.map(specs)
-    return time.perf_counter() - t0, executor.effective_jobs
+    wall = time.perf_counter() - t0
+    executor.close()
+    return wall, executor.effective_jobs
+
+
+def _time_pool_reuse(specs, jobs: int):
+    """Two back-to-back sweeps: fresh executor each vs one reused pool."""
+    t0 = time.perf_counter()
+    for _ in range(2):
+        executor = RunExecutor(jobs=jobs)
+        executor.map(specs)
+        executor.close()
+    fresh = time.perf_counter() - t0
+    executor = RunExecutor(jobs=jobs)
+    t0 = time.perf_counter()
+    for _ in range(2):
+        executor.map(specs)
+    reused = time.perf_counter() - t0
+    executor.close()
+    return fresh, reused
 
 
 def main(argv=None) -> int:
@@ -67,6 +88,9 @@ def main(argv=None) -> int:
         _time_sweep(specs, jobs=1, cache_dir=cache_dir)  # warm
         cached_s, _ = _time_sweep(specs, jobs=1, cache_dir=cache_dir)
     print(f"cached   : {cached_s:7.2f}s")
+    fresh_s, reused_s = _time_pool_reuse(specs, jobs=args.jobs)
+    print(f"2 sweeps, fresh pools : {fresh_s:7.2f}s")
+    print(f"2 sweeps, reused pool : {reused_s:7.2f}s")
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cache_speedup = serial_s / cached_s if cached_s > 0 else float("inf")
@@ -91,6 +115,23 @@ def main(argv=None) -> int:
         "cached_wall_s": round(cached_s, 3),
         "speedup": round(speedup, 3),
         "cache_speedup": round(cache_speedup, 3),
+        "pool_fresh_wall_s": round(fresh_s, 3),
+        "pool_reused_wall_s": round(reused_s, 3),
+        "pool_reuse_speedup": round(
+            fresh_s / reused_s if reused_s > 0 else float("inf"), 3
+        ),
+        "notes": (
+            "pool_* legs run the sweep twice on fresh executors vs one "
+            "persistent pool (RunExecutor keeps its ProcessPoolExecutor "
+            "alive across map() calls)."
+            + (
+                "  Single-CPU host: effective_jobs clamps to 1, so both "
+                "parallel and pool-reuse legs take the serial path and "
+                "measure overhead, not fan-out capability."
+                if cpus < 2
+                else ""
+            )
+        ),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

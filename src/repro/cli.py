@@ -311,6 +311,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="never group queued fastpath specs into lockstep batches",
     )
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help=(
+            "simulate one coupled fleet (racks sharing a hot aisle) with "
+            "the sharded deterministic engine"
+        ),
+    )
+    fleet_p.add_argument(
+        "--racks", type=int, default=4, metavar="R",
+        help="racks in the hot-aisle row (default 4)",
+    )
+    fleet_p.add_argument(
+        "--nodes-per-rack", type=int, default=8, metavar="M",
+        help="nodes per rack (default 8)",
+    )
+    fleet_p.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help=(
+            "worker processes; results are bitwise identical for every "
+            "value (default 1: in-process)"
+        ),
+    )
+    fleet_p.add_argument(
+        "--epoch-ticks", type=int, default=40, metavar="E",
+        help="physics ticks per synchronization epoch (default 40)",
+    )
+    fleet_p.add_argument(
+        "--horizon", type=float, default=120.0, metavar="SECONDS",
+        help="simulated seconds (default 120)",
+    )
+    fleet_p.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"workload phase seed (default {DEFAULT_SEED})",
+    )
+    fleet_p.add_argument(
+        "--workload",
+        choices=("uniform", "imbalance", "wave"),
+        default="imbalance",
+        help="fleet workload profile (default imbalance)",
+    )
+    fleet_p.add_argument(
+        "--power-budget", type=float, default=None, metavar="WATTS",
+        help="fleet-wide CPU power cap the coordinator tracks "
+        "(default: uncapped)",
+    )
+    fleet_p.add_argument(
+        "--recirculation", type=float, default=0.2, metavar="FRACTION",
+        help="hot-aisle recirculated fraction of rack exhaust (default 0.2)",
+    )
+    fleet_p.add_argument(
+        "--fault-at", type=float, default=None, metavar="SECONDS",
+        help="inject a hot-aisle containment breach at this time "
+        "(default: no fault)",
+    )
+    fleet_p.add_argument(
+        "--fault-rack", type=int, default=0, metavar="R",
+        help="victim rack of the containment breach (default 0)",
+    )
+    fleet_p.add_argument(
+        "--platform",
+        choices=sorted(PLATFORM_REGISTRY),
+        default=None,
+        metavar="NAME",
+        help="silicon the nodes run (default: the paper's Athlon64 testbed)",
+    )
+    fleet_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed fleet result cache (default: no cache)",
+    )
+    fleet_p.add_argument(
+        "--quick", action="store_true", help="shortened horizon smoke mode"
+    )
+    fleet_p.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="write the full result JSON to FILE",
+    )
+
     sub.add_parser(
         "lint",
         help="run the repro.lint invariant checker (see 'repro-lint --help')",
@@ -422,6 +503,67 @@ def main(argv: Optional[List[str]] = None) -> int:
             asyncio.run(serve_forever(config))
         except KeyboardInterrupt:
             print("repro.serve: shutting down")
+        return 0
+
+    if args.command == "fleet":
+        from .fleet import FleetFaultSpec, FleetSpec, run_fleet
+
+        fault = (
+            None
+            if args.fault_at is None
+            else FleetFaultSpec(rack=args.fault_rack, at=args.fault_at)
+        )
+        spec = FleetSpec(
+            racks=args.racks,
+            nodes_per_rack=args.nodes_per_rack,
+            horizon=args.horizon if not args.quick else min(args.horizon, 30.0),
+            epoch_ticks=args.epoch_ticks,
+            seed=args.seed,
+            workload=args.workload,
+            power_budget=args.power_budget,
+            recirculation=args.recirculation,
+            platform=args.platform,
+            fault=fault,
+            quick=args.quick,
+        )
+        t0 = time.perf_counter()
+        result = run_fleet(spec, shards=args.shards, cache_dir=args.cache_dir)
+        elapsed = time.perf_counter() - t0
+        ticks = spec.total_ticks()
+        print(f"== {spec.describe()} ==")
+        print(
+            f"digest {spec.digest()}  epochs {spec.epochs()}  "
+            f"ticks {ticks}  shards {args.shards}"
+        )
+        print(
+            f"peak die {result.peak_die_c():.2f} C  "
+            f"cpu energy {result.total_cpu_energy_j() / 1e3:.1f} kJ  "
+            f"fan energy {result.total_fan_energy_j() / 1e3:.1f} kJ  "
+            f"throttles {result.total_throttles()}"
+        )
+        print("rack  inlet_C  duty   fan_kJ  throttles")
+        throttles_by_rack = {r.rack: 0 for r in result.racks}
+        for node in result.nodes:
+            throttles_by_rack[node.rack] += node.throttles
+        for rack in result.racks:
+            print(
+                f"{rack.rack:>4}  {rack.inlet_c:7.2f}  {rack.duty:.2f}  "
+                f"{rack.fan_energy_j / 1e3:7.2f}  "
+                f"{throttles_by_rack[rack.rack]:>9}"
+            )
+        rate = spec.total_nodes * ticks / elapsed if elapsed > 0 else 0.0
+        print(
+            f"({elapsed:.1f}s wall time, {rate:,.0f} node-ticks/s)"
+        )
+        if args.export is not None:
+            path = Path(args.export)
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(result.to_jsonable(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"wrote {path}")
         return 0
 
     if args.command == "series":

@@ -21,6 +21,7 @@ module                                 reproduces
 :mod:`~repro.experiments.emergency`              fan failure vs hardware protection
 :mod:`~repro.experiments.workload_suite`         contribution 4 — workload signatures
 :mod:`~repro.experiments.robustness`             Table-1 claims across seeds
+:mod:`~repro.experiments.fleet_capping`          fleet-scale capping (sharded engine)
 =====================================  =========================================
 """
 
@@ -36,6 +37,7 @@ from . import (
     fig08_tdvfs_static_fan,
     fig09_tdvfs_vs_cpuspeed,
     fig10_hybrid,
+    fleet_capping,
     platform,
     scaling,
     robustness,
@@ -58,6 +60,7 @@ __all__ = [
     "emergency",
     "workload_suite",
     "robustness",
+    "fleet_capping",
     "REGISTRY",
 ]
 
@@ -78,4 +81,5 @@ REGISTRY = MappingProxyType({
     "emergency": (emergency, "fan-failure / thermal-emergency avoidance"),
     "suite": (workload_suite, "thermal signatures across the NPB suite"),
     "robustness": (robustness, "Table 1 claims across independent seeds"),
+    "fleet": (fleet_capping, "fleet-scale capping on the sharded engine"),
 })

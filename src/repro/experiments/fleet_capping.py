@@ -1,0 +1,163 @@
+"""Fleet experiment: thermal capping under load imbalance + aisle fault.
+
+The paper's coordinator distributes per-node performance preferences
+``P_p`` so the cluster honours a power envelope; this experiment runs
+that policy at *fleet* scale on the sharded engine
+(:mod:`repro.fleet`).  Three scenarios over the same imbalanced
+fleet — half the racks hot, half near-idle:
+
+* **baseline** — no budget, hot-aisle containment intact;
+* **capped** — a fleet-wide CPU power budget the coordinator tracks by
+  retuning ``P_p`` each epoch (hot racks get leaned on harder);
+* **capped+fault** — the same budget while rack 0's hot-aisle
+  containment breaches mid-run, recirculating its exhaust into its
+  neighbours' inlets.
+
+The rendered table shows the tradeoff the coordinator navigates: the
+cap trims fleet power at the cost of throttle events, and the fault
+raises inlets (and therefore throttling) without breaking the cap.
+Every scenario also re-runs sharded and asserts the
+``shards=1 == shards=K`` bitwise gate — the experiment doubles as an
+end-to-end determinism check on a realistic configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..fleet import FleetFaultSpec, FleetSpec, run_fleet
+from ..runtime.spec import DEFAULT_SEED
+
+__all__ = ["FleetScenarioRow", "FleetCappingResult", "specs", "run", "render"]
+
+
+@dataclass(frozen=True)
+class FleetScenarioRow:
+    """One scenario of the capping comparison."""
+
+    label: str
+    power_budget_w: Optional[float]
+    faulted: bool
+    mean_power_w: float
+    peak_die_c: float
+    max_inlet_c: float
+    throttles: int
+    cpu_energy_kj: float
+    fan_energy_kj: float
+    sharding_bitwise_equal: bool
+
+
+@dataclass(frozen=True)
+class FleetCappingResult:
+    """All scenarios plus the shared fleet shape."""
+
+    racks: int
+    nodes_per_rack: int
+    horizon_s: float
+    rows: Tuple[FleetScenarioRow, ...]
+
+
+def specs(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> Tuple[Tuple[str, FleetSpec], ...]:
+    """The three scenario specs, labelled."""
+    racks = 4
+    nodes = 4 if quick else 8
+    horizon = 40.0 if quick else 120.0
+    budget_per_node = 40.0
+    budget = budget_per_node * racks * nodes
+    base = dict(
+        racks=racks,
+        nodes_per_rack=nodes,
+        horizon=horizon,
+        seed=seed,
+        workload="imbalance",
+        quick=quick,
+    )
+    fault = FleetFaultSpec(rack=0, at=horizon / 3.0)
+    return (
+        ("baseline", FleetSpec(**base)),
+        ("capped", FleetSpec(power_budget=budget, **base)),
+        (
+            "capped+fault",
+            FleetSpec(power_budget=budget, fault=fault, **base),
+        ),
+    )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    executor: object = None,
+) -> FleetCappingResult:
+    """Run the three scenarios; verify the sharding gate on each.
+
+    ``executor`` is accepted for CLI harness symmetry but unused — the
+    fleet engine owns its own sharded process pool.
+    """
+    del executor
+    rows: List[FleetScenarioRow] = []
+    shape = None
+    for label, spec in specs(seed=seed, quick=quick):
+        reference = run_fleet(spec, shards=1)
+        sharded = run_fleet(spec, shards=2)
+        equal = reference.canonical_bytes() == sharded.canonical_bytes()
+        if not equal:
+            raise SimulationError(
+                f"fleet scenario {label!r} broke the shards=1 == shards=2 "
+                "bitwise gate"
+            )
+        mean_power = 0.0
+        for _t, power, _max_die, _pp in reference.series:
+            mean_power += power
+        mean_power /= len(reference.series)
+        max_inlet = max(rack.inlet_c for rack in reference.racks)
+        rows.append(
+            FleetScenarioRow(
+                label=label,
+                power_budget_w=spec.power_budget,
+                faulted=spec.fault is not None,
+                mean_power_w=mean_power,
+                peak_die_c=reference.peak_die_c(),
+                max_inlet_c=max_inlet,
+                throttles=reference.total_throttles(),
+                cpu_energy_kj=reference.total_cpu_energy_j() / 1e3,
+                fan_energy_kj=reference.total_fan_energy_j() / 1e3,
+                sharding_bitwise_equal=equal,
+            )
+        )
+        shape = spec
+    assert shape is not None
+    return FleetCappingResult(
+        racks=shape.racks,
+        nodes_per_rack=shape.nodes_per_rack,
+        horizon_s=shape.horizon,
+        rows=tuple(rows),
+    )
+
+
+def render(result: FleetCappingResult) -> str:
+    """Paper-style comparison table."""
+    lines = [
+        f"fleet {result.racks}x{result.nodes_per_rack} nodes, "
+        f"{result.horizon_s:g} s horizon, imbalanced load "
+        "(sharding gate verified per scenario)",
+        "",
+        f"{'scenario':<14} {'budget_W':>9} {'mean_W':>8} {'peak_C':>7} "
+        f"{'inlet_C':>8} {'throttles':>9} {'cpu_kJ':>8} {'fan_kJ':>7}",
+    ]
+    for row in result.rows:
+        budget = (
+            f"{row.power_budget_w:.0f}"
+            if row.power_budget_w is not None
+            else "-"
+        )
+        lines.append(
+            f"{row.label:<14} {budget:>9} {row.mean_power_w:>8.1f} "
+            f"{row.peak_die_c:>7.2f} {row.max_inlet_c:>8.2f} "
+            f"{row.throttles:>9} {row.cpu_energy_kj:>8.1f} "
+            f"{row.fan_energy_kj:>7.2f}"
+        )
+    return "\n".join(lines)

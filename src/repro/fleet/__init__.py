@@ -1,0 +1,37 @@
+"""``repro.fleet``: sharded fleet-scale simulation with deterministic
+boundary exchange.
+
+One coupled fleet — racks of nodes sharing a hot aisle, per-rack fan
+walls, a fleet coordinator distributing ``P_p`` budgets — partitioned
+across worker processes by rack.  Cross-rack state is exchanged only
+at fixed synchronization epochs, which makes the computation rack-local
+in between and the full result **bitwise independent of the shard
+count**: ``run_fleet(spec, shards=1)`` and ``run_fleet(spec, shards=K)``
+produce identical :meth:`~repro.fleet.engine.FleetResult.canonical_bytes`.
+
+See ``docs/fleet.md`` for the topology schema, the epoch exchange
+protocol and the determinism argument.
+"""
+
+from __future__ import annotations
+
+from .coordinator import FleetCoordinator, recirculation_weights
+from .engine import FleetResult, partition_racks, run_fleet
+from .shard import NodeFinal, RackFinal, RackReport, ShardResult, ShardRunner
+from .spec import FLEET_WORKLOADS, FleetFaultSpec, FleetSpec
+
+__all__ = [
+    "FLEET_WORKLOADS",
+    "FleetCoordinator",
+    "FleetFaultSpec",
+    "FleetResult",
+    "FleetSpec",
+    "NodeFinal",
+    "RackFinal",
+    "RackReport",
+    "ShardResult",
+    "ShardRunner",
+    "partition_racks",
+    "recirculation_weights",
+    "run_fleet",
+]

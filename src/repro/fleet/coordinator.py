@@ -1,0 +1,199 @@
+"""Fleet-level coordination: epoch exchange and hierarchical capping.
+
+The :class:`FleetCoordinator` is the only place cross-rack state
+lives.  Once per synchronization epoch it
+
+1. turns last epoch's rack *outlet* temperatures into this epoch's
+   rack *inlet* temperatures through the frozen recirculation kernel
+   (rack exhaust → hot aisle → neighbour intake),
+2. distributes the per-rack performance-preference budgets ``P_p``
+   that the in-band governors throttle against — a global term tracks
+   the fleet power budget, a per-rack term leans on hot racks — and
+3. injects the hot-aisle containment fault at its scheduled boundary.
+
+Everything it consumes is the ordered list of per-rack
+:class:`~repro.fleet.shard.RackReport` records, and every reduction is
+a fixed-order Python loop over rack index — so its outputs (and hence
+the whole simulation) are a pure function of the spec, independent of
+how racks were sharded and which worker reported first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..sim.events import EventLog
+from ..telemetry import MetricsRegistry
+from .shard import RackReport
+from .spec import FleetSpec
+
+__all__ = ["FleetCoordinator", "recirculation_weights"]
+
+#: Coordinator gains and clamps: the global budget loop (per epoch,
+#: proportional on relative power error) and the per-rack lean against
+#: hot racks (per kelvin above the fleet-mean hot spot).
+_PP_MIN = 5.0
+_PP_MAX = 100.0
+_BUDGET_GAIN = 30.0
+_RACK_LEAN_PER_K = 3.0
+
+#: Geometric decay of recirculated exhaust with rack distance, and the
+#: post-fault ceiling on any rack's total recirculated fraction.
+_DISTANCE_DECAY = 0.5
+_ROW_SUM_CEILING = 0.9
+
+
+def recirculation_weights(spec: FleetSpec) -> Tuple[Tuple[float, ...], ...]:
+    """The frozen rack-coupling kernel ``W`` as nested tuples.
+
+    ``W[r][s]`` is the fraction of rack *s*'s exhaust rise that rack
+    *r* ingests: a distance-decayed kernel normalized so every row sums
+    to exactly ``spec.recirculation`` — the coupling is contractive
+    (recirculation < 1), which keeps the epoch fixed-point iteration
+    stable for any topology.
+    """
+    racks = spec.racks
+    rows: List[Tuple[float, ...]] = []
+    for r in range(racks):
+        kernel = [_DISTANCE_DECAY ** abs(r - s) for s in range(racks)]
+        norm = 0.0
+        for value in kernel:
+            norm += value
+        rows.append(
+            tuple(spec.recirculation * value / norm for value in kernel)
+        )
+    return tuple(rows)
+
+
+class FleetCoordinator:
+    """Cross-rack state machine advanced once per synchronization epoch."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+        self.weights = recirculation_weights(spec)
+        self.pp_global = _PP_MAX
+        self.events = EventLog()
+        self.registry = MetricsRegistry()
+        self.epoch_index = 0
+        self.fault_applied = False
+        self._inlets: List[float] = [spec.cold_aisle_c] * spec.racks
+        self._rack_max: List[float] = [0.0] * spec.racks
+        self._have_reports = False
+
+    # -- epoch planning ----------------------------------------------------
+
+    def begin_epoch(
+        self, t: float
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Commands for the epoch starting at ``t``: (inlets, pps).
+
+        The fault is applied here — at the first epoch boundary at or
+        after its scheduled time — so injection is a property of the
+        epoch schedule, not of shard timing.
+        """
+        spec = self.spec
+        fault = spec.fault
+        if fault is not None and not self.fault_applied and t >= fault.at:
+            self._apply_fault(t)
+        inlets = tuple(self._inlets)
+        if not self._have_reports:
+            pps = tuple(self.pp_global for _ in range(spec.racks))
+        else:
+            mean_max = 0.0
+            for value in self._rack_max:
+                mean_max += value
+            mean_max /= spec.racks
+            pps = tuple(
+                min(
+                    _PP_MAX,
+                    max(
+                        _PP_MIN,
+                        self.pp_global
+                        - _RACK_LEAN_PER_K * (self._rack_max[r] - mean_max),
+                    ),
+                )
+                for r in range(spec.racks)
+            )
+        return inlets, pps
+
+    def _apply_fault(self, t: float) -> None:
+        fault = self.spec.fault
+        assert fault is not None
+        rows = list(self.weights)
+        row = [value * fault.factor for value in rows[fault.rack]]
+        total = 0.0
+        for value in row:
+            total += value
+        if total > _ROW_SUM_CEILING:
+            scale = _ROW_SUM_CEILING / total
+            row = [value * scale for value in row]
+        rows[fault.rack] = tuple(row)
+        self.weights = tuple(rows)
+        self.fault_applied = True
+        self.events.emit(
+            t,
+            "fleet.coordinator.fault",
+            "fleet.coordinator",
+            kind=fault.kind,
+            rack=fault.rack,
+            factor=fault.factor,
+        )
+        self.registry.counter("fleet.coordinator.faults").inc()
+
+    # -- epoch absorption --------------------------------------------------
+
+    def end_epoch(self, t: float, reports: Sequence[RackReport]) -> None:
+        """Absorb the epoch's rack reports: exchange air, retune budgets."""
+        spec = self.spec
+        if len(reports) != spec.racks:
+            raise SimulationError(
+                f"coordinator expected {spec.racks} rack reports, got "
+                f"{len(reports)}"
+            )
+        for r, report in enumerate(reports):
+            if report.rack != r:
+                raise SimulationError(
+                    f"rack reports out of order: slot {r} holds rack "
+                    f"{report.rack}"
+                )
+        total_power = 0.0
+        fleet_max = reports[0].max_die_c
+        for report in reports:
+            total_power += report.mean_power_w
+            if report.max_die_c > fleet_max:
+                fleet_max = report.max_die_c
+            self._rack_max[report.rack] = report.max_die_c
+        self._have_reports = True
+        if spec.power_budget is not None:
+            err = total_power - spec.power_budget
+            self.pp_global = min(
+                _PP_MAX,
+                max(
+                    _PP_MIN,
+                    self.pp_global - _BUDGET_GAIN * err / spec.power_budget,
+                ),
+            )
+        cold = spec.cold_aisle_c
+        for r in range(spec.racks):
+            inlet = cold
+            row = self.weights[r]
+            for s in range(spec.racks):
+                inlet += row[s] * (reports[s].outlet_c - cold)
+            self._inlets[r] = inlet
+        self.events.emit(
+            t,
+            "fleet.coordinator.epoch",
+            "fleet.coordinator",
+            epoch=self.epoch_index,
+            total_power_w=total_power,
+            max_die_c=fleet_max,
+            pp_global=self.pp_global,
+        )
+        self.registry.counter("fleet.coordinator.epochs").inc()
+        self.registry.gauge("fleet.coordinator.pp_global").set(self.pp_global)
+        self.registry.gauge(
+            "fleet.coordinator.total_power_w"
+        ).set(total_power)
+        self.registry.gauge("fleet.coordinator.max_die_c").set(fleet_max)
+        self.epoch_index += 1

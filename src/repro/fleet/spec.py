@@ -1,0 +1,460 @@
+"""Declarative fleet topology specifications.
+
+A :class:`FleetSpec` *names* one coupled fleet simulation — racks ×
+nodes-per-rack, the recirculation coupling between racks, the workload
+profile, the coordinator's power budget and an optional hot-aisle
+fault — without holding any live objects.  Like
+:class:`~repro.runtime.spec.RunSpec` it is frozen, hashable,
+comparable and picklable, its :meth:`FleetSpec.canonical` JSON is both
+the digest input and the public wire form
+(``FleetSpec.from_json(spec.to_json()) == spec`` always holds), and it
+rides the same content-addressed cache discipline as RunSpecs — with a
+``repro-fleet/`` digest domain so the two spec kinds can share a cache
+directory without ever colliding.
+
+Deliberately **absent** from the spec: the shard count.  Sharding is a
+pure execution strategy — the engine guarantees bitwise-identical
+results for every ``shards`` value — so it must not (and does not)
+affect the digest: a fleet simulated once is a cache hit at any shard
+count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from ..errors import ConfigurationError
+from ..runtime.spec import DEFAULT_SEED, Params, freeze_params
+
+__all__ = [
+    "FLEET_WORKLOADS",
+    "FleetFaultSpec",
+    "FleetSpec",
+]
+
+#: Fleet workload profile names (see :mod:`repro.fleet.model`).
+FLEET_WORKLOADS = ("uniform", "imbalance", "wave")
+
+#: Fault kinds the coordinator knows how to inject.
+_FAULT_KINDS = ("hot_aisle_recirc",)
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """A hot-aisle containment fault and when it fires.
+
+    Attributes
+    ----------
+    kind:
+        Fault type; currently only ``"hot_aisle_recirc"`` (the victim
+        rack's containment is breached, multiplying the recirculated
+        fraction of every rack's exhaust it ingests).
+    rack:
+        Index of the victim rack.
+    at:
+        Simulated seconds into the run at which the fault fires.  The
+        coordinator applies it at the first epoch boundary at or after
+        this time, so the injection point is a pure function of the
+        spec — never of sharding.
+    factor:
+        Multiplier on the victim rack's recirculation row (clamped so
+        the coupling stays contractive).
+    """
+
+    kind: str = "hot_aisle_recirc"
+    rack: int = 0
+    at: float = 40.0
+    factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ConfigurationError(
+                f"fleet fault kind {self.kind!r} is unknown; "
+                f"available: {list(_FAULT_KINDS)}"
+            )
+        if isinstance(self.rack, bool) or not isinstance(self.rack, int):
+            raise ConfigurationError(
+                f"fleet fault 'rack' must be an int, got {self.rack!r}"
+            )
+        if self.rack < 0:
+            raise ConfigurationError(
+                f"fleet fault 'rack' must be >= 0, got {self.rack}"
+            )
+        _require_finite(self.at, "fault 'at'")
+        if self.at < 0.0:
+            raise ConfigurationError(
+                f"fleet fault 'at' must be >= 0, got {self.at}"
+            )
+        _require_finite(self.factor, "fault 'factor'")
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"fleet fault 'factor' must be >= 1 (a breach never "
+                f"improves containment), got {self.factor}"
+            )
+
+
+def _require_finite(value: float, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"fleet spec {name} must be a number, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if not math.isfinite(value):
+        raise ConfigurationError(
+            f"fleet spec {name} must be finite, got {value!r}"
+        )
+
+
+def _require_int(value: Any, name: str, minimum: int) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"fleet spec {name} must be an int, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < minimum:
+        raise ConfigurationError(
+            f"fleet spec {name} must be >= {minimum}, got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A complete, declarative name for one coupled-fleet simulation.
+
+    Attributes
+    ----------
+    racks / nodes_per_rack:
+        Topology: ``racks`` racks in one hot-aisle row, each holding
+        ``nodes_per_rack`` identical nodes behind a shared fan wall.
+    horizon:
+        Simulated seconds the fleet runs.
+    dt:
+        Physics tick, seconds (the cluster layer's 0.05 s default).
+    epoch_ticks:
+        Ticks per synchronization epoch.  Cross-rack coupling (rack
+        outlet → hot aisle → neighbour inlet) and coordinator budgets
+        are frozen *within* an epoch and exchanged only at epoch
+        boundaries, which is exactly what makes the simulation
+        rack-local between boundaries — and therefore bitwise
+        shard-count-independent.
+    control_ticks:
+        Ticks per local control period (per-node DVFS decisions and the
+        per-rack fan-wall loop).  Purely rack-local, so any cadence is
+        sharding-safe.
+    seed:
+        Root seed; workload phase offsets derive from it by pure
+        integer mixing (no sequenced RNG, so no draw-order hazards).
+    workload:
+        Fleet workload profile name (:data:`FLEET_WORKLOADS`).
+    workload_params:
+        Frozen profile parameters (e.g. hot/cold utilization levels).
+    power_budget:
+        Optional fleet-wide CPU power cap in watts.  ``None`` disables
+        coordinator capping (every node keeps ``P_p = 100``).
+    recirculation:
+        Fraction of a rack's exhaust heat that recirculates to the
+        aisle (spread over neighbours by a decaying distance kernel).
+    cold_aisle_c:
+        Cold-aisle supply temperature, °C.
+    platform:
+        Optional platform registry key; ``None`` — the default — uses
+        the paper's Athlon64 testbed constants and is omitted from
+        :meth:`canonical`, mirroring :class:`~repro.runtime.spec.RunSpec`.
+    fault:
+        Optional :class:`FleetFaultSpec`.
+    quick:
+        Marks shortened (smoke-test) configurations, carried so cache
+        entries distinguish quick fleets from full ones.
+    """
+
+    racks: int = 4
+    nodes_per_rack: int = 8
+    horizon: float = 120.0
+    dt: float = 0.05
+    epoch_ticks: int = 40
+    control_ticks: int = 20
+    seed: int = DEFAULT_SEED
+    workload: str = "imbalance"
+    workload_params: Params = ()
+    power_budget: Optional[float] = None
+    recirculation: float = 0.2
+    cold_aisle_c: float = 25.0
+    platform: Optional[str] = None
+    fault: Optional[FleetFaultSpec] = None
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        _require_int(self.racks, "'racks'", 1)
+        _require_int(self.nodes_per_rack, "'nodes_per_rack'", 1)
+        _require_int(self.epoch_ticks, "'epoch_ticks'", 1)
+        _require_int(self.control_ticks, "'control_ticks'", 1)
+        _require_int(self.seed, "'seed'", 0)
+        _require_finite(self.horizon, "'horizon'")
+        if self.horizon <= 0.0:
+            raise ConfigurationError(
+                f"fleet spec 'horizon' must be > 0, got {self.horizon}"
+            )
+        _require_finite(self.dt, "'dt'")
+        if self.dt <= 0.0:
+            raise ConfigurationError(
+                f"fleet spec 'dt' must be > 0, got {self.dt}"
+            )
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ConfigurationError(
+                f"fleet spec 'workload' must be a non-empty string, got "
+                f"{self.workload!r}"
+            )
+        if self.workload not in FLEET_WORKLOADS:
+            raise ConfigurationError(
+                f"fleet workload {self.workload!r} is unknown; "
+                f"available: {list(FLEET_WORKLOADS)}"
+            )
+        if self.power_budget is not None:
+            _require_finite(self.power_budget, "'power_budget'")
+            if self.power_budget <= 0.0:
+                raise ConfigurationError(
+                    "fleet spec 'power_budget' must be > 0 (or null), got "
+                    f"{self.power_budget}"
+                )
+        _require_finite(self.recirculation, "'recirculation'")
+        if not 0.0 <= self.recirculation <= 0.8:
+            raise ConfigurationError(
+                "fleet spec 'recirculation' must be in [0, 0.8] (the "
+                f"coupling must stay contractive), got {self.recirculation}"
+            )
+        _require_finite(self.cold_aisle_c, "'cold_aisle_c'")
+        if not -50.0 <= self.cold_aisle_c <= 80.0:
+            raise ConfigurationError(
+                "fleet spec 'cold_aisle_c' is outside the plausible "
+                f"[-50, 80] °C range: {self.cold_aisle_c}"
+            )
+        if self.platform is not None and (
+            not isinstance(self.platform, str) or not self.platform
+        ):
+            raise ConfigurationError(
+                "fleet spec 'platform' must be a non-empty string or null, "
+                f"got {self.platform!r}"
+            )
+        if self.fault is not None:
+            if not isinstance(self.fault, FleetFaultSpec):
+                raise ConfigurationError(
+                    "fleet spec 'fault' must be a FleetFaultSpec or None, "
+                    f"got {self.fault!r}"
+                )
+            if self.fault.rack >= self.racks:
+                raise ConfigurationError(
+                    f"fleet fault rack {self.fault.rack} is outside the "
+                    f"{self.racks}-rack topology"
+                )
+        if not isinstance(self.quick, bool):
+            raise ConfigurationError(
+                f"fleet spec 'quick' must be a boolean, got {self.quick!r}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        *,
+        params: Optional[Mapping[str, Any]] = None,
+        **fields: Any,
+    ) -> "FleetSpec":
+        """Ergonomic constructor taking a plain dict for the profile."""
+        return cls(workload_params=freeze_params(params), **fields)
+
+    # -- derived sizes ----------------------------------------------------
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes in the fleet."""
+        return self.racks * self.nodes_per_rack
+
+    def total_ticks(self) -> int:
+        """Physics ticks covering the horizon."""
+        return max(1, math.ceil(self.horizon / self.dt - 1e-9))
+
+    def epochs(self) -> int:
+        """Synchronization epochs covering the horizon (last may be short)."""
+        return math.ceil(self.total_ticks() / self.epoch_ticks)
+
+    # -- wire form / digest ----------------------------------------------
+
+    def canonical(self) -> str:
+        """Deterministic JSON form (the digest input and wire form).
+
+        A ``None`` platform is dropped, mirroring
+        :meth:`repro.runtime.spec.RunSpec.canonical`.
+        """
+        data = dataclasses.asdict(self)
+        if data["platform"] is None:
+            del data["platform"]
+        return json.dumps(data, sort_keys=True)
+
+    def to_json(self) -> str:
+        """The public JSON wire form (exactly :meth:`canonical`)."""
+        return self.canonical()
+
+    @classmethod
+    def from_json(cls, payload: Union[str, bytes]) -> "FleetSpec":
+        """Parse the JSON wire form back into a spec.
+
+        Every malformed payload raises
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        field — this is the request-validation seam for fleet jobs.
+        """
+        if isinstance(payload, bytes):
+            try:
+                payload = payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ConfigurationError(
+                    f"fleet spec payload is not valid UTF-8: {exc}"
+                ) from None
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fleet spec payload is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "fleet spec payload must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fleet spec field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        fields: dict = {}
+        for name in (
+            "racks", "nodes_per_rack", "epoch_ticks", "control_ticks", "seed",
+        ):
+            if name in data:
+                fields[name] = data[name]
+        for name in (
+            "horizon", "dt", "recirculation", "cold_aisle_c",
+        ):
+            if name in data:
+                value = data[name]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ConfigurationError(
+                        f"fleet spec {name!r} must be a number, got "
+                        f"{value!r} ({type(value).__name__})"
+                    )
+                fields[name] = float(value)
+        if "power_budget" in data and data["power_budget"] is not None:
+            value = data["power_budget"]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    "fleet spec 'power_budget' must be a number or null, "
+                    f"got {value!r} ({type(value).__name__})"
+                )
+            fields["power_budget"] = float(value)
+        if "workload" in data:
+            fields["workload"] = data["workload"]
+        if "workload_params" in data:
+            raw = data["workload_params"]
+            if isinstance(raw, Mapping):
+                fields["workload_params"] = freeze_params(raw)
+            elif isinstance(raw, (list, tuple)):
+                pairs: dict = {}
+                for entry in raw:
+                    if (
+                        not isinstance(entry, (list, tuple))
+                        or len(entry) != 2
+                        or not isinstance(entry[0], str)
+                    ):
+                        raise ConfigurationError(
+                            "fleet spec workload_params entries must be "
+                            f"[\"key\", value] pairs, got {entry!r}"
+                        )
+                    pairs[entry[0]] = entry[1]
+                fields["workload_params"] = freeze_params(pairs)
+            else:
+                raise ConfigurationError(
+                    "fleet spec workload_params must be an object or a "
+                    f"list of pairs, got {raw!r} ({type(raw).__name__})"
+                )
+        if data.get("platform") is not None:
+            fields["platform"] = data["platform"]
+        if data.get("fault") is not None:
+            raw = data["fault"]
+            if not isinstance(raw, Mapping):
+                raise ConfigurationError(
+                    "fleet spec 'fault' must be an object or null, got "
+                    f"{raw!r} ({type(raw).__name__})"
+                )
+            unknown = sorted(set(raw) - {"kind", "rack", "at", "factor"})
+            if unknown:
+                raise ConfigurationError(
+                    f"fleet spec 'fault' has unknown key(s) {unknown}; "
+                    "expected kind/rack/at/factor"
+                )
+            fault_fields: dict = {}
+            if "kind" in raw:
+                fault_fields["kind"] = raw["kind"]
+            if "rack" in raw:
+                fault_fields["rack"] = raw["rack"]
+            for fname in ("at", "factor"):
+                if fname in raw:
+                    value = raw[fname]
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        raise ConfigurationError(
+                            f"fleet fault {fname!r} must be a number, got "
+                            f"{value!r} ({type(value).__name__})"
+                        )
+                    fault_fields[fname] = float(value)
+            fields["fault"] = FleetFaultSpec(**fault_fields)
+        if "quick" in data:
+            value = data["quick"]
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"fleet spec 'quick' must be a boolean, got {value!r}"
+                )
+            fields["quick"] = value
+        try:
+            return cls(**fields)
+        except ConfigurationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed fleet spec payload: {exc}"
+            ) from None
+
+    def digest(self, version: Optional[str] = None) -> str:
+        """Content hash naming this spec (plus the package ``version``).
+
+        The ``repro-fleet/`` domain prefix keeps fleet digests disjoint
+        from RunSpec digests even in a shared cache directory.
+        """
+        if version is None:
+            from .. import __version__ as version
+        h = hashlib.sha256()
+        h.update(f"repro-fleet/{version}\n".encode("utf-8"))
+        h.update(self.canonical().encode("utf-8"))
+        return h.hexdigest()[:40]
+
+    def describe(self) -> str:
+        """Short human-readable label (progress lines, bench reports)."""
+        platform = f"/{self.platform}" if self.platform is not None else ""
+        budget = (
+            f"/cap={self.power_budget:.0f}W"
+            if self.power_budget is not None
+            else ""
+        )
+        fault = f"/fault@{self.fault.at:g}s" if self.fault is not None else ""
+        return (
+            f"fleet {self.racks}x{self.nodes_per_rack}/{self.workload}"
+            f"{budget}{fault}/seed={self.seed}{platform}"
+            f"{'/quick' if self.quick else ''}"
+        )

@@ -29,7 +29,7 @@ LAYER_TABLE: Tuple[Tuple[int, Tuple[str, ...]], ...] = (
     (4, ("governors", "ipmi")),
     (5, ("cluster",)),
     (6, ("fastpath", "runtime", "analysis")),
-    (7, ("experiments",)),
+    (7, ("experiments", "fleet")),
     (8, ("serve",)),
     (9, ("cli", "__main__", "<root>")),
 )

@@ -14,6 +14,7 @@ from ..base import Rule
 from .allocation import HotpathAllocationRule
 from .determinism import DeterminismRule
 from .exports import ExportsRule
+from .fleet_isolation import FleetIsolationRule
 from .governor_purity import GovernorPurityRule
 from .governor_reach import GovernorReachRule
 from .hotpath_transitive import HotpathTransitiveRule
@@ -42,6 +43,7 @@ __all__ = [
     "LayeringRule",
     "GovernorReachRule",
     "WorkerStateRule",
+    "FleetIsolationRule",
 ]
 
 #: Ordered rule plugin table (report order follows registration order).
@@ -59,6 +61,7 @@ ALL_RULES: List[Type[Rule]] = [
     LayeringRule,
     GovernorReachRule,
     WorkerStateRule,
+    FleetIsolationRule,
 ]
 
 #: Code → rule class lookup.

@@ -1,0 +1,189 @@
+"""RPR014 — fleet shard isolation.
+
+The fleet engine's determinism gate (``docs/fleet.md``) rests on two
+structural properties of everything under a ``fleet/`` directory:
+
+* **No cluster imports.**  Shard workers rebuild their world from the
+  spec's JSON wire form alone.  The cluster layer is the one place live
+  single-node simulations are orchestrated from mutable host-side
+  state; a fleet module importing ``repro.cluster`` (or pulling
+  ``Cluster`` out of anywhere) would let a shard's trajectory depend on
+  objects the parent configured — exactly the channel that breaks the
+  ``shards=1 == shards=K`` bitwise contract.  Rack physics must flow
+  through the spec-driven model layer instead.
+* **No module-scope mutable state.**  A mutable container at module
+  scope is shared by every rack a worker hosts and — under the fork
+  start method — snapshotted from the parent at an arbitrary point, so
+  its contents silently vary with the shard layout.  Frozen module
+  state (tuples, ``frozenset``, ``MappingProxyType``, scalars) is fine;
+  per-run mutable state belongs on instances built from the spec.
+
+Dunder assignments (``__all__`` and friends) are exempt: they are
+import-protocol metadata, not simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Finding, Rule, RuleContext
+
+__all__ = ["FleetIsolationRule"]
+
+#: Dotted-path component whose import is banned under ``fleet/``.
+_BANNED_COMPONENT = "cluster"
+
+#: Symbol that must not be pulled out of any module under ``fleet/``.
+_BANNED_SYMBOL = "Cluster"
+
+#: Constructors whose module-scope call creates shared mutable state.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+#: AST display/comprehension nodes that build a mutable container.
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_dunder_target(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Name)
+        and target.id.startswith("__")
+        and target.id.endswith("__")
+    )
+
+
+def _mutable_value_kind(value: ast.expr) -> str:
+    """Why ``value`` is a mutable container ('' when it is not one)."""
+    if isinstance(value, _MUTABLE_DISPLAYS):
+        return type(value).__name__.lower().replace("comp", " comprehension")
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _MUTABLE_CALLS:
+            return f"{name}() call"
+    return ""
+
+
+class FleetIsolationRule(Rule):
+    """fleet/ modules: no cluster imports, no module-scope mutable state."""
+
+    code = "RPR014"
+    name = "fleet-isolation"
+    description = (
+        "fleet/ modules must not import the cluster layer (shards rebuild "
+        "from the spec wire form) or bind mutable containers at module "
+        "scope (shared cross-shard state breaks the shards=1 == shards=K "
+        "bitwise contract); dunder metadata is exempt"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path_has_part("fleet"):
+            return
+        yield from self._check_imports(ctx)
+        yield from self._check_module_state(ctx)
+
+    # -- cluster imports ---------------------------------------------------
+
+    def _check_imports(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _BANNED_COMPONENT in alias.name.split("."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} in fleet code: shards "
+                            "must rebuild from the spec wire form, never "
+                            "from cluster-layer objects",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module_parts = (
+                    node.module.split(".") if node.module is not None else []
+                )
+                if _BANNED_COMPONENT in module_parts:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"from-import of {node.module!r} in fleet code: "
+                        "shards must rebuild from the spec wire form, never "
+                        "from cluster-layer objects",
+                    )
+                    continue
+                for alias in node.names:
+                    if alias.name == _BANNED_COMPONENT:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from-import of the {_BANNED_COMPONENT!r} "
+                            "component in fleet code: shards must rebuild "
+                            "from the spec wire form, never from "
+                            "cluster-layer objects",
+                        )
+                    elif alias.name == _BANNED_SYMBOL:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {_BANNED_SYMBOL!r} in fleet code: "
+                            "the cluster orchestrator must not reach shard "
+                            "workers",
+                        )
+
+    # -- module-scope mutable state ---------------------------------------
+
+    def _check_module_state(self, ctx: RuleContext) -> Iterator[Finding]:
+        for stmt in self._module_statements(ctx.tree):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if all(_is_dunder_target(t) for t in targets):
+                continue
+            kind = _mutable_value_kind(value)
+            if not kind:
+                continue
+            names = ", ".join(
+                t.id for t in targets if isinstance(t, ast.Name)
+            ) or "<target>"
+            yield self.finding(
+                ctx,
+                stmt,
+                f"module-scope mutable state in fleet code: {names} is "
+                f"bound to a {kind}; shard workers must share nothing "
+                "mutable — freeze it (tuple/frozenset/MappingProxyType) or "
+                "move it onto a per-run instance",
+            )
+
+    @staticmethod
+    def _module_statements(tree: ast.Module):
+        """Module-scope statements, descending into top-level if/try arms."""
+        stack = list(tree.body)
+        while stack:
+            stmt = stack.pop(0)
+            yield stmt
+            if isinstance(stmt, ast.If):
+                stack.extend(stmt.body)
+                stack.extend(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                stack.extend(stmt.body)
+                stack.extend(stmt.orelse)
+                stack.extend(stmt.finalbody)
+                for handler in stmt.handlers:
+                    stack.extend(handler.body)

@@ -17,7 +17,14 @@ Three properties the rest of the repo builds on:
   tier-1 behaviour is exactly the historical serial path.
 * **Fan-out** — with ``jobs=N`` uncached specs are distributed over a
   :class:`~concurrent.futures.ProcessPoolExecutor`; sweeps cost the
-  wall-clock of their slowest member, not their sum.
+  wall-clock of their slowest member, not their sum.  The pool is
+  created lazily on the first parallel :meth:`RunExecutor.map` call
+  and **reused** across subsequent calls, so a session of successive
+  sweeps (the CLI's ``run all``, the serving layer, benchmark phases)
+  pays worker spin-up — process fork plus the module-tree import —
+  exactly once instead of per call.  :meth:`RunExecutor.close` (or the
+  context-manager form) releases the workers; a broken pool is
+  disposed and never reused.
 * **Caching** — with ``cache_dir`` set, results are pickled under a
   content hash of (spec, package version), so re-running the same
   configuration across the CLI, tests and benchmarks simulates once.
@@ -46,6 +53,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -256,6 +264,9 @@ class RunExecutor:
         #: ``(spec, result)`` pairs accumulated across map() calls when
         #: ``telemetry=True`` (primary specs only; duplicates collapse).
         self.collected: List[Tuple[RunSpec, RunResult]] = []
+        #: Lazily created, reused across map() calls (None until the
+        #: first parallel execution; see :meth:`close`).
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._wall_hist = self.registry.histogram(
             "host.spec.wall_seconds", buckets=SECONDS_BUCKETS, **self._labels
         )
@@ -357,12 +368,47 @@ class RunExecutor:
         """Everything this executor knows: host metrics + merged runs."""
         return self.registry.snapshot()
 
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the executor stays usable
+        — the next parallel :meth:`map` simply pays spin-up again)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RunExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
     # -- execution -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first parallel use.
+
+        Sized to ``effective_jobs`` (not the current call's spec count)
+        so one pool serves every subsequent :meth:`map` regardless of
+        how many specs each call brings.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.effective_jobs)
+            self.registry.counter(
+                "host.exec.pools_created", **self._labels
+            ).inc()
+        return self._pool
 
     def _execute_all(
         self, specs: List[RunSpec]
     ) -> List[Tuple[RunResult, float]]:
-        """Run specs serially or across the process pool."""
+        """Run specs serially or across the (persistent) process pool."""
         workers = min(self.effective_jobs, len(specs))
         self.registry.gauge("host.exec.workers", **self._labels).set(
             float(workers)
@@ -370,8 +416,16 @@ class RunExecutor:
         if workers <= 1:
             return [timed_execute_spec(spec) for spec in specs]
         self.registry.counter("host.exec.pool_batches", **self._labels).inc()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = self._ensure_pool()
+        try:
             return list(pool.map(timed_execute_spec, specs))
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool; dispose of it so the
+            # next map() starts from a fresh one instead of failing
+            # forever on the corpse.
+            self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
     @staticmethod
     def _batch_key(spec: RunSpec):

@@ -9,9 +9,15 @@ tuples of primitives, so equality, hashing, pickling and JSON
 conversion are all trivial and deterministic.
 
 Merging semantics (``TelemetrySnapshot.merge``) follow metric type:
-counters and histograms are *additive* across snapshots, gauges are
-*last-writer-wins* (in argument order).  Callers merging snapshots
-from different runs should first disambiguate them with
+counters and histograms are *additive* across snapshots, and a gauge
+conflict resolves to the *largest* sample (ordered by value, then sum,
+count and buckets).  Every per-key fold is commutative and
+associative, so merging K snapshots is a pure function of the multiset
+of samples — the result is independent of argument order and of how
+the merge is parenthesized.  The fleet layer leans on exactly this:
+per-shard snapshots reduce to the same fleet snapshot no matter which
+shard reports first.  Callers merging snapshots from different runs
+should still disambiguate them with
 :meth:`TelemetrySnapshot.with_labels` (e.g. ``run=<spec digest>``), or
 same-named gauges silently shadow each other.
 """
@@ -80,7 +86,13 @@ def _merge_pair(a: MetricSample, b: MetricSample) -> MetricSample:
     if a.type == "counter":
         return replace(a, value=a.value + b.value)
     if a.type == "gauge":
-        return b  # last writer wins
+        # Largest sample wins — max is commutative and associative, so
+        # a K-way merge never depends on snapshot arrival order (the
+        # old last-writer-wins rule did, which made multi-shard reduces
+        # racy).  Ties across every field are identical samples anyway.
+        a_rank = (a.value, a.sum, a.count, a.buckets)
+        b_rank = (b.value, b.sum, b.count, b.buckets)
+        return a if a_rank >= b_rank else b
     bounds_a = tuple(bound for bound, _ in a.buckets)
     bounds_b = tuple(bound for bound, _ in b.buckets)
     if bounds_a != bounds_b:
@@ -175,12 +187,26 @@ class TelemetrySnapshot:
 
     @classmethod
     def merge(cls, *snapshots: "TelemetrySnapshot") -> "TelemetrySnapshot":
-        """Fold many snapshots into one (see module docstring)."""
+        """Fold many snapshots into one (see module docstring).
+
+        Every sample from every snapshot is sorted into one canonical
+        order — instrument key first, then full sample content — before
+        the per-key fold, so the accumulation order (and hence every
+        floating-point rounding) is a pure function of the multiset of
+        samples, never of the argument order.  Shard reduces rely on
+        this: K worker snapshots merge to bitwise the same result no
+        matter which worker reported first.
+        """
+        ordered = sorted(
+            (sample for snap in snapshots for sample in snap.samples),
+            key=lambda s: (
+                s.name, s.labels, s.type, s.value, s.sum, s.count, s.buckets,
+            ),
+        )
         folded: Dict[Tuple[str, LabelPairs], MetricSample] = {}
-        for snap in snapshots:
-            for sample in snap.samples:
-                existing = folded.get(sample.key)
-                folded[sample.key] = (
-                    sample if existing is None else _merge_pair(existing, sample)
-                )
+        for sample in ordered:
+            existing = folded.get(sample.key)
+            folded[sample.key] = (
+                sample if existing is None else _merge_pair(existing, sample)
+            )
         return cls(samples=tuple(folded.values()))

@@ -1,0 +1,22 @@
+"""Known-bad fixture: a fleet module violating shard isolation.
+
+Three RPR014 findings and nothing else: an eager cluster-layer import,
+a ``Cluster`` pulled from a re-export surface, and module-scope mutable
+containers a shard worker would share.  The assignments are RPR013-safe
+here (this file is not in the worker import graph) and every dunder is
+left alone — RPR014 is the only rule that may fire.
+"""
+
+from repro import cluster  # noqa: F401  (banned layer)
+from repro.runtime.compat import Cluster  # noqa: F401  (banned symbol)
+
+__all__ = ["remember_boundary"]
+
+__fixture_note__ = ["dunder", "lists", "are", "exempt"]
+
+_BOUNDARY_CACHE = {}
+
+
+def remember_boundary(rack: int, outlet_c: float) -> None:
+    """Stash a boundary temperature in shared module state: banned."""
+    _BOUNDARY_CACHE[rack] = outlet_c

@@ -38,6 +38,7 @@ class TestRegistry:
             "emergency",
             "suite",
             "robustness",
+            "fleet",
         }
 
     def test_registry_modules_have_run_and_render(self):

@@ -52,6 +52,7 @@ BAD_FIXTURES = {
         "graph/rpr013/repro/runtime/execute.py",
         "graph/rpr013/repro/platform/registry_state.py",
     ),
+    "RPR014": ("fleet/rpr014_isolation.py",),
 }
 
 FINDING_LINE = re.compile(r"^.+\.py:\d+:\d+: RPR\d{3} .+$")

@@ -164,6 +164,51 @@ def test_clamped_serial_fallback_matches_serial(monkeypatch) -> None:
         assert_results_equal(s, c)
     # The serial fallback never opened a pool.
     assert clamped.telemetry_snapshot().value("host.exec.pool_batches") == 0.0
+    assert clamped._pool is None
+
+
+# ---------------------------------------------------------------- pool reuse
+
+
+def test_pool_is_reused_across_map_calls(monkeypatch) -> None:
+    """Successive parallel map() calls share one worker pool.
+
+    Spin-up (fork + module-tree import per worker) used to be paid on
+    every call; now the pool is created lazily on the first parallel
+    map and reused, and results stay identical to the serial path.
+    """
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    specs = specs_pair()
+    serial = RunExecutor(jobs=1).map(specs + specs_pair())
+    with RunExecutor(jobs=2) as executor:
+        assert executor._pool is None  # lazy: no pool before first map
+        first = executor.map(specs)
+        pool = executor._pool
+        assert pool is not None
+        second = executor.map(specs_pair())
+        assert executor._pool is pool  # same pool object, no respawn
+        snap = executor.telemetry_snapshot()
+        assert snap.value("host.exec.pool_batches") == 2.0
+        assert snap.value("host.exec.pools_created") == 1.0
+        for s, p in zip(serial, first + second):
+            assert_results_equal(s, p)
+    assert executor._pool is None  # context exit released the workers
+
+
+def test_close_is_idempotent_and_executor_stays_usable(monkeypatch) -> None:
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    executor = RunExecutor(jobs=2)
+    executor.close()  # nothing created yet: a no-op
+    first = executor.map(specs_pair())
+    executor.close()
+    executor.close()
+    assert executor._pool is None
+    # The executor survives close(): the next map spins a fresh pool.
+    second = executor.map(specs_pair())
+    assert executor._pool is not None
+    for a, b in zip(first, second):
+        assert_results_equal(a, b)
+    executor.close()
 
 
 # ---------------------------------------------------------------- telemetry

@@ -173,7 +173,11 @@ def _all_experiment_specs():
     for name, (module, _description) in REGISTRY.items():
         specs_fn = getattr(module, "specs", None)
         if specs_fn is not None:
-            collected.extend((name, s) for s in specs_fn(seed=1, quick=True))
+            for s in specs_fn(seed=1, quick=True):
+                # Fleet experiments label their specs: ("scenario", spec).
+                if isinstance(s, tuple):
+                    s = s[1]
+                collected.append((name, s))
     return collected
 
 
@@ -187,6 +191,14 @@ def test_experiment_modules_expose_specs() -> None:
     "experiment,spec", _all_experiment_specs(), ids=lambda v: str(v)[:48]
 )
 def test_every_spec_resolves_in_the_registries(experiment, spec) -> None:
+    from repro.fleet import FLEET_WORKLOADS, FleetSpec
+    from repro.platform import PLATFORM_REGISTRY
+
+    if isinstance(spec, FleetSpec):
+        assert spec.workload in FLEET_WORKLOADS
+        if spec.platform is not None:
+            assert spec.platform in PLATFORM_REGISTRY
+        return
     assert spec.workload in WORKLOAD_REGISTRY
     for rig in spec.rigs:
         assert rig.name in RIG_REGISTRY
@@ -348,3 +360,140 @@ def test_from_json_malformed_payloads_are_config_errors(
 
     with pytest.raises(ConfigurationError, match="(?s)" + re.escape(needle)):
         RunSpec.from_json(payload)
+
+
+# -- FleetSpec: the fleet topology rides the same spec discipline --------
+
+
+def cheap_fleet_spec(**overrides):
+    from repro.fleet import FleetSpec
+
+    kwargs = dict(racks=3, nodes_per_rack=2, horizon=20.0, quick=True)
+    kwargs.update(overrides)
+    return FleetSpec(**kwargs)
+
+
+def test_fleet_digest_stable_across_constructions() -> None:
+    assert cheap_fleet_spec().digest() == cheap_fleet_spec().digest()
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"racks": 4},
+        {"nodes_per_rack": 3},
+        {"horizon": 21.0},
+        {"dt": 0.1},
+        {"epoch_ticks": 20},
+        {"control_ticks": 10},
+        {"seed": 7},
+        {"workload": "wave"},
+        {"workload_params": (("u_hot", 0.9),)},
+        {"power_budget": 500.0},
+        {"recirculation": 0.3},
+        {"cold_aisle_c": 22.0},
+        {"platform": "biglittle_4p4e"},
+        {"quick": False},
+    ],
+)
+def test_fleet_digest_distinguishes_every_field(overrides) -> None:
+    assert cheap_fleet_spec().digest() != cheap_fleet_spec(**overrides).digest()
+
+
+def test_fleet_digest_distinguishes_fault() -> None:
+    from repro.fleet import FleetFaultSpec
+
+    faulted = cheap_fleet_spec(fault=FleetFaultSpec(rack=1, at=5.0))
+    assert cheap_fleet_spec().digest() != faulted.digest()
+    assert (
+        faulted.digest()
+        != cheap_fleet_spec(fault=FleetFaultSpec(rack=2, at=5.0)).digest()
+    )
+
+
+def test_fleet_digest_domain_separated_from_runspec() -> None:
+    """Fleet and run digests can share a cache directory: even if the
+    canonical JSON of some FleetSpec ever collided with a RunSpec's,
+    the `repro-fleet/` domain prefix keeps the digests disjoint."""
+    fleet = cheap_fleet_spec()
+    run = cheap_spec()
+    assert fleet.digest() != run.digest()
+    assert fleet.digest(version="x") != run.digest(version="x")
+
+
+def test_fleet_canonical_omits_unset_platform() -> None:
+    assert '"platform"' not in cheap_fleet_spec().canonical()
+    assert '"platform"' in cheap_fleet_spec(
+        platform="athlon64_4000"
+    ).canonical()
+    assert (
+        cheap_fleet_spec().digest()
+        != cheap_fleet_spec(platform="athlon64_4000").digest()
+    )
+
+
+def test_fleet_to_json_round_trips_exactly() -> None:
+    from repro.fleet import FleetFaultSpec, FleetSpec
+
+    spec = cheap_fleet_spec(
+        workload="wave",
+        workload_params=(("period", 30.0), ("u_amp", 0.2)),
+        power_budget=400.0,
+        platform="multicore_8c_45nm",
+        fault=FleetFaultSpec(rack=2, at=8.0, factor=2.5),
+    )
+    recovered = FleetSpec.from_json(spec.to_json())
+    assert recovered == spec
+    assert recovered.digest() == spec.digest()
+
+
+def test_fleet_from_json_accepts_object_params() -> None:
+    from repro.fleet import FleetSpec
+
+    as_pairs = cheap_fleet_spec(workload_params=(("u_hot", 0.9),))
+    as_object = FleetSpec.from_json(
+        '{"racks": 3, "nodes_per_rack": 2, "horizon": 20.0, "quick": true,'
+        ' "workload_params": {"u_hot": 0.9}}'
+    )
+    assert as_object == as_pairs
+    assert as_object.digest() == as_pairs.digest()
+
+
+@pytest.mark.parametrize(
+    "payload, needle",
+    [
+        ("[]", "object"),
+        ("{", "JSON"),
+        ('{"racks": 0}', "racks"),
+        ('{"nodes_per_rack": -1}', "nodes_per_rack"),
+        ('{"horizon": "long"}', "horizon"),
+        ('{"horizon": -5}', "horizon"),
+        ('{"dt": 0}', "dt"),
+        ('{"epoch_ticks": 0}', "epoch_ticks"),
+        ('{"seed": 1.5}', "seed"),
+        ('{"workload": "nope"}', "workload"),
+        ('{"workload_params": 5}', "workload_params"),
+        ('{"power_budget": -1}', "power_budget"),
+        ('{"recirculation": 0.95}', "recirculation"),
+        ('{"cold_aisle_c": 200}', "cold_aisle_c"),
+        ('{"platform": 9}', "platform"),
+        ('{"fault": 3}', "fault"),
+        ('{"fault": {"kind": "meteor"}}', "kind"),
+        ('{"fault": {"rack": 7}}', "rack"),
+        ('{"racks": 2, "fault": {"rack": 2}}', "rack"),
+        ('{"quick": 1}', "quick"),
+        ('{"shards": 4}', "unknown"),
+    ],
+)
+def test_fleet_from_json_malformed_payloads_are_config_errors(
+    payload, needle
+) -> None:
+    """Malformed fleet payloads raise ConfigurationError naming the
+    field; notably `shards` is rejected — sharding is an execution
+    strategy, not part of a fleet's identity."""
+    import re
+
+    from repro.fleet import FleetSpec
+
+    with pytest.raises(ConfigurationError, match="(?s)" + re.escape(needle)):
+        FleetSpec.from_json(payload)

@@ -125,10 +125,65 @@ def test_snapshot_lookups() -> None:
 
 def test_snapshot_merge_semantics() -> None:
     merged = TelemetrySnapshot.merge(make_snapshot(), make_snapshot())
-    # Counters and histograms add; gauges stay last-writer.
+    # Counters and histograms add; a gauge conflict keeps the largest.
     assert merged.value("ctrl.rounds", ctrl="n0", via="l1") == 6.0
     assert merged.get("ctrl.delta_l1", ctrl="n0").count == 4
     assert merged.value("ctrl.slot", ctrl="n0") == 7.0
+
+
+def _shard_snapshot(shard: int, observed: float) -> TelemetrySnapshot:
+    """One fleet-shard-shaped snapshot with shard-dependent values."""
+    registry = MetricsRegistry()
+    registry.counter("fleet.shard.node_ticks").inc(100 * (shard + 1))
+    registry.counter("fleet.shard.throttles", rack=f"{shard:03d}").inc(shard)
+    registry.gauge("fleet.pp_global").set(float(90 - 10 * shard))
+    h = registry.histogram("fleet.epoch_power", buckets=DELTA_BUCKETS)
+    h.observe(observed)
+    return registry.snapshot()
+
+
+def test_snapshot_merge_is_order_independent() -> None:
+    """Merging K shard snapshots must not depend on completion order.
+
+    This is the fleet reduce contract: samples are sorted into one
+    canonical order before the fold, so every permutation of the shard
+    snapshots gives the bitwise-identical result — including the
+    rounding of float accumulations (0.1-steps do round) and the
+    colliding unlabeled gauge.
+    """
+    import itertools
+
+    shards = [_shard_snapshot(k, observed=0.1 * k) for k in range(4)]
+    reference = TelemetrySnapshot.merge(*shards)
+    for perm in itertools.permutations(shards):
+        assert TelemetrySnapshot.merge(*perm) == reference
+    # The colliding gauge resolved to the largest sample, not "last".
+    assert reference.value("fleet.pp_global") == 90.0
+
+
+def test_snapshot_merge_is_associative_on_exact_values() -> None:
+    """Nested (tree) merges agree with the flat K-way merge.
+
+    Partial merges produce partial sums, so true associativity needs
+    exactly-representable observations (halves add without rounding);
+    with those, left fold, right fold and a balanced tree are all
+    bitwise equal to the flat merge.
+    """
+    shards = [_shard_snapshot(k, observed=0.5 * k) for k in range(4)]
+    reference = TelemetrySnapshot.merge(*shards)
+    left = shards[0]
+    for snap in shards[1:]:
+        left = TelemetrySnapshot.merge(left, snap)
+    right = shards[-1]
+    for snap in reversed(shards[:-1]):
+        right = TelemetrySnapshot.merge(snap, right)
+    tree = TelemetrySnapshot.merge(
+        TelemetrySnapshot.merge(shards[0], shards[1]),
+        TelemetrySnapshot.merge(shards[2], shards[3]),
+    )
+    assert left == reference
+    assert right == reference
+    assert tree == reference
 
 
 def test_snapshot_with_labels_disambiguates() -> None:
